@@ -1,0 +1,245 @@
+package dlfuzz_test
+
+// Benchmarks regenerating the paper's evaluation. Each benchmark
+// iteration is one randomized Phase II execution, so `go test -bench`
+// output reports, per benchmark (and per Figure 2 variant):
+//
+//	prob        — empirical probability of reproducing the deadlock
+//	            	(Table 1 column 9, Figure 2 second graph)
+//	thrash/run  — average thrashings per run (column 10, third graph)
+//	steps/run   — deterministic runtime proxy (first graph, normalized
+//	            	against BenchmarkBaseline)
+//	cycles      — potential deadlock cycles found by iGoodlock (col 6)
+//
+// cmd/dlbench prints the same data as assembled tables; EXPERIMENTS.md
+// records a reference run against the paper's numbers.
+
+import (
+	"testing"
+
+	"dlfuzz/internal/fuzzer"
+	"dlfuzz/internal/harness"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/lockset"
+	"dlfuzz/internal/sched"
+	"dlfuzz/internal/workloads"
+)
+
+// phase1For runs iGoodlock once for a workload under a variant,
+// outside benchmark timing.
+func phase1For(b *testing.B, w workloads.Workload, v harness.Variant) *harness.Phase1Result {
+	b.Helper()
+	p1, err := harness.RunPhase1(w.Prog, v.Goodlock, 1, 0)
+	if err != nil {
+		b.Fatalf("%s: %v", w.Name, err)
+	}
+	return p1
+}
+
+// benchCampaign runs b.N active-checker executions round-robin over the
+// workload's cycles and reports the paper's metrics.
+func benchCampaign(b *testing.B, w workloads.Workload, v harness.Variant) {
+	b.Helper()
+	p1 := phase1For(b, w, v)
+	b.ReportMetric(float64(len(p1.Cycles)+len(p1.FalsePositives)), "cycles")
+	if len(p1.Cycles) == 0 {
+		return
+	}
+	var reproduced, thrashes, steps int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cyc := p1.Cycles[i%len(p1.Cycles)]
+		r := fuzzer.Run(w.Prog, cyc, v.Fuzzer, int64(i), 0)
+		if r.Reproduced {
+			reproduced++
+		}
+		thrashes += r.Stats.Thrashes
+		steps += r.Result.Steps
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(reproduced)/n, "prob")
+	b.ReportMetric(float64(thrashes)/n, "thrash/run")
+	b.ReportMetric(float64(steps)/n, "steps/run")
+}
+
+// BenchmarkTable1 regenerates Table 1: per benchmark, the default
+// variant's cycle count, reproduction probability and thrashing.
+func BenchmarkTable1(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			benchCampaign(b, w, harness.DefaultVariant())
+		})
+	}
+}
+
+// BenchmarkBaseline measures the uninstrumented control of Table 1:
+// plain random scheduling, counting accidental deadlocks (the paper saw
+// none in 100 runs) and baseline steps for runtime normalization.
+func BenchmarkBaseline(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			deadlocks, steps := 0, 0
+			for i := 0; i < b.N; i++ {
+				res := sched.New(sched.Options{Seed: int64(i)}).Run(w.Prog)
+				if res.Outcome == sched.Deadlock {
+					deadlocks++
+				}
+				steps += res.Steps
+			}
+			n := float64(b.N)
+			b.ReportMetric(float64(deadlocks)/n, "prob")
+			b.ReportMetric(float64(steps)/n, "steps/run")
+		})
+	}
+}
+
+// BenchmarkFigure2 regenerates all of Figure 2's per-variant graphs:
+// each benchmark x variant pair reports probability (graph 2), thrashing
+// (graph 3) and steps/run (graph 1, normalize against BenchmarkBaseline).
+func BenchmarkFigure2(b *testing.B) {
+	for _, w := range harness.Figure2Benchmarks() {
+		w := w
+		for _, v := range harness.Variants() {
+			v := v
+			b.Run(w.Name+"/"+v.Name, func(b *testing.B) {
+				benchCampaign(b, w, v)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure2Correlation regenerates the fourth graph: the
+// correlation between thrash count and reproduction success across the
+// Figure 2 benchmarks.
+func BenchmarkFigure2Correlation(b *testing.B) {
+	type target struct {
+		w   workloads.Workload
+		v   harness.Variant
+		cyc *igoodlock.Cycle
+	}
+	var targets []target
+	for _, w := range harness.Figure2Benchmarks() {
+		// All five variants, so the thrash axis has support (the
+		// default variant almost never thrashes on these models).
+		for _, v := range harness.Variants() {
+			p1 := phase1For(b, w, v)
+			for _, cyc := range p1.Cycles {
+				targets = append(targets, target{w, v, cyc})
+			}
+		}
+	}
+	var points []harness.CorrelationPoint
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := targets[i%len(targets)]
+		r := fuzzer.Run(t.w.Prog, t.cyc, t.v.Fuzzer, int64(i), 0)
+		points = append(points, harness.CorrelationPoint{
+			Thrashes:   r.Stats.Thrashes,
+			Reproduced: r.Reproduced,
+		})
+	}
+	b.ReportMetric(harness.PearsonCorrelation(points), "pearson")
+}
+
+// BenchmarkSection54Imprecision regenerates the Jigsaw imprecision
+// numbers: potential vs provably-false cycle counts per Phase I run.
+func BenchmarkSection54Imprecision(b *testing.B) {
+	w, _ := workloads.ByName("jigsaw")
+	v := harness.DefaultVariant()
+	var potential, falsePos int
+	for i := 0; i < b.N; i++ {
+		p1, err := harness.RunPhase1(w.Prog, v.Goodlock, int64(i+1), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		potential += len(p1.Cycles) + len(p1.FalsePositives)
+		falsePos += len(p1.FalsePositives)
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(potential)/n, "potential")
+	b.ReportMetric(float64(falsePos)/n, "hb-false")
+}
+
+// --- Ablation microbenchmarks for the design choices DESIGN.md calls
+// out: scheduler handshake cost, dependency recording overhead, and the
+// iGoodlock join itself.
+
+// BenchmarkSchedulerSteps measures raw scheduling throughput (the
+// per-operation cost of the lockstep handshake).
+func BenchmarkSchedulerSteps(b *testing.B) {
+	prog := func(c *sched.Ctx) {
+		for i := 0; i < 1000; i++ {
+			c.Step("bench:1")
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.New(sched.Options{Seed: int64(i)}).Run(prog)
+	}
+	b.ReportMetric(1000, "steps/op")
+}
+
+// BenchmarkRecorderOverhead compares an instrumented run (dependency
+// recording on) against BenchmarkSchedulerSteps to expose the Phase I
+// observation overhead (Table 1 column 4 vs column 3).
+func BenchmarkRecorderOverhead(b *testing.B) {
+	w, _ := workloads.ByName("lists")
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sched.New(sched.Options{Seed: int64(i)}).Run(w.Prog)
+		}
+	})
+	b.Run("recording", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := lockset.NewRecorder()
+			sched.New(sched.Options{
+				Seed:      int64(i),
+				Observers: []sched.Observer{rec},
+			}).Run(w.Prog)
+		}
+	})
+}
+
+// BenchmarkIGoodlockJoin measures Algorithm 1 itself on the largest
+// dependency relation in the suite (the 27-session lists workload).
+func BenchmarkIGoodlockJoin(b *testing.B) {
+	w, _ := workloads.ByName("lists")
+	rec := lockset.NewRecorder()
+	s := sched.New(sched.Options{Seed: 3, Observers: []sched.Observer{rec}})
+	if s.Run(w.Prog).Outcome != sched.Completed {
+		b.Skip("observation run deadlocked")
+	}
+	cfg := harness.DefaultVariant().Goodlock
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycles := igoodlock.Find(rec.Deps(), cfg)
+		if len(cycles) == 0 {
+			b.Fatal("no cycles")
+		}
+	}
+	b.ReportMetric(float64(rec.Len()), "deps")
+}
+
+// BenchmarkNoiseBaseline contrasts DeadlockFuzzer with the ConTest-style
+// noise approach the paper's related-work section discusses: random
+// delays at synchronization points instead of targeted pauses. Compare
+// its prob metric with BenchmarkTable1's — noise cannot hold a thread in
+// place, so it rarely creates the skewed deadlocks.
+func BenchmarkNoiseBaseline(b *testing.B) {
+	for _, w := range harness.Figure2Benchmarks() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			deadlocks := 0
+			for i := 0; i < b.N; i++ {
+				pol := fuzzer.NoisePolicy{P: 0.5}
+				res := sched.New(sched.Options{Seed: int64(i), Policy: pol}).Run(w.Prog)
+				if res.Outcome == sched.Deadlock {
+					deadlocks++
+				}
+			}
+			b.ReportMetric(float64(deadlocks)/float64(b.N), "prob")
+		})
+	}
+}

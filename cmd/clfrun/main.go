@@ -1,0 +1,120 @@
+// Command clfrun executes a CLF program once under the deterministic
+// scheduler and reports the outcome. It can record the event trace and
+// the schedule, and replay a previously recorded schedule — useful for
+// attaching a reproducible witness to a deadlock report.
+//
+//	clfrun prog.clf                       # one random run (seed 0)
+//	clfrun -seed 7 prog.clf               # a specific interleaving
+//	clfrun -trace out.jsonl prog.clf      # record the event stream
+//	clfrun -record sched.json prog.clf    # record the schedule
+//	clfrun -replay sched.json prog.clf    # replay it (any seed)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dlfuzz"
+	"dlfuzz/internal/lang"
+	"dlfuzz/internal/sched"
+	"dlfuzz/internal/trace"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 0, "scheduler seed")
+		maxSteps  = flag.Int("max-steps", 0, "step bound (0 = default)")
+		traceOut  = flag.String("trace", "", "write the event trace (JSON lines) to this file")
+		recordOut = flag.String("record", "", "write the schedule to this file")
+		replayIn  = flag.String("replay", "", "replay a schedule from this file")
+	)
+	flag.Parse()
+	if len(flag.Args()) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: clfrun [flags] program.clf")
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fail(err)
+	}
+	prog, err := lang.Parse(file, string(src))
+	if err != nil {
+		fail(err)
+	}
+
+	opts := sched.Options{Seed: *seed, MaxSteps: *maxSteps}
+
+	var collector *trace.Collector
+	if *traceOut != "" {
+		collector = trace.NewCollector()
+		opts.Observers = append(opts.Observers, collector)
+	}
+	var recorder *trace.RecordingPolicy
+	var replayer *trace.ReplayPolicy
+	switch {
+	case *replayIn != "":
+		f, err := os.Open(*replayIn)
+		if err != nil {
+			fail(err)
+		}
+		schedule, err := trace.ReadSchedule(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		replayer = trace.NewReplay(schedule)
+		opts.Policy = replayer
+	case *recordOut != "":
+		recorder = trace.NewRecording(nil)
+		opts.Policy = recorder
+	}
+
+	res, err := lang.NewInterp(prog, os.Stdout).Run(opts)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("outcome: %s (%d steps, %d events, %d threads, %d objects)\n",
+		res.Outcome, res.Steps, res.Events, res.Spawned, res.Allocated)
+	if res.Deadlock != nil {
+		fmt.Println(res.Deadlock)
+	}
+	if replayer != nil && replayer.Diverged() {
+		fmt.Println("warning: replay diverged from the recorded schedule")
+	}
+	if collector != nil {
+		if err := writeFile(*traceOut, collector.Encode); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace: %d events written to %s\n", collector.Len(), *traceOut)
+	}
+	if recorder != nil {
+		if err := writeFile(*recordOut, recorder.Schedule().Encode); err != nil {
+			fail(err)
+		}
+		fmt.Printf("schedule: %d decisions written to %s\n", len(recorder.Schedule()), *recordOut)
+	}
+	if res.Outcome == dlfuzz.Deadlock {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "clfrun:", err)
+	os.Exit(2)
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,105 @@
+// Command dlbench regenerates the paper's evaluation: Table 1 and all
+// four graphs of Figure 2, printed as text tables. EXPERIMENTS.md in the
+// repository root records a reference run next to the paper's numbers.
+//
+//	dlbench                  # everything (paper-scale: 100 runs/cycle)
+//	dlbench -table 1         # just Table 1
+//	dlbench -fig 2a          # one Figure 2 graph
+//	dlbench -imprecision     # the Section 5.4 Jigsaw imprecision study
+//	dlbench -runs 20         # smaller campaigns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlfuzz/internal/harness"
+	"dlfuzz/internal/report"
+	"dlfuzz/internal/workloads"
+)
+
+func main() {
+	var (
+		table       = flag.String("table", "", "regenerate one table (\"1\")")
+		fig         = flag.String("fig", "", "regenerate one figure graph (\"2a\", \"2b\", \"2c\", \"2d\")")
+		imprecision = flag.Bool("imprecision", false, "run the Section 5.4 imprecision study on Jigsaw")
+		runs        = flag.Int("runs", 100, "Phase II executions per cycle")
+		maxCycles   = flag.Int("max-cycles", 0, "cap cycles per benchmark (0 = all)")
+	)
+	flag.Parse()
+
+	all := *table == "" && *fig == "" && !*imprecision
+	if *table == "1" || all {
+		if err := table1(*runs, *maxCycles); err != nil {
+			fail(err)
+		}
+	}
+	wantFig := func(name string) bool { return all || *fig == name }
+	if wantFig("2a") || wantFig("2b") || wantFig("2c") {
+		points, err := harness.BuildFigure2(*runs, *maxCycles, 0)
+		if err != nil {
+			fail(err)
+		}
+		report.WriteFigure2(os.Stdout, points)
+	}
+	if wantFig("2d") {
+		points, err := harness.BuildCorrelation(*runs, *maxCycles, 0)
+		if err != nil {
+			fail(err)
+		}
+		report.WriteCorrelation(os.Stdout, points)
+	}
+	if *imprecision || all {
+		if err := imprecisionStudy(*runs); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func table1(runs, maxCycles int) error {
+	fmt.Println("Table 1: two-phase results per benchmark")
+	opt := harness.Table1Options{Runs: runs, BaselineRuns: runs, MaxCycles: maxCycles}
+	var rows []harness.Table1Row
+	for _, w := range workloads.All() {
+		row, err := harness.BuildTable1Row(w, opt)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+	}
+	report.WriteTable1(os.Stdout, rows)
+	fmt.Println()
+	return nil
+}
+
+// imprecisionStudy reproduces Section 5.4: how many of Jigsaw's
+// potential cycles are provably false (happens-before ordered) and how
+// many the checker confirms.
+func imprecisionStudy(runs int) error {
+	w, _ := workloads.ByName("jigsaw")
+	v := harness.DefaultVariant()
+	p1, err := harness.RunPhase1(w.Prog, v.Goodlock, 1, 0)
+	if err != nil {
+		return err
+	}
+	confirmed := 0
+	for _, cyc := range p1.Cycles {
+		if harness.RunPhase2(w.Prog, cyc, v.Fuzzer, runs, 0).Reproduced > 0 {
+			confirmed++
+		}
+	}
+	total := len(p1.Cycles) + len(p1.FalsePositives)
+	fmt.Println("Section 5.4: iGoodlock imprecision on Jigsaw")
+	fmt.Printf("  potential cycles reported:        %d\n", total)
+	fmt.Printf("  confirmed real by DeadlockFuzzer: %d\n", confirmed)
+	fmt.Printf("  provably false (happens-before):  %d\n", len(p1.FalsePositives))
+	fmt.Printf("  undetermined:                     %d\n", total-confirmed-len(p1.FalsePositives))
+	fmt.Println("  (paper: 283 reported, 29 confirmed, 18 provably false, rest undetermined)")
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dlbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command dlstatic runs the static lock-order deadlock detector on a
+// CLF program, and optionally contrasts its report with the dynamic
+// two-phase pipeline — the comparison that motivates the paper: static
+// analysis over-reports (no thread identity, no happens-before, no path
+// feasibility), iGoodlock narrows, DeadlockFuzzer confirms.
+//
+//	dlstatic prog.clf
+//	dlstatic -compare prog.clf     # also run iGoodlock + the checker
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlfuzz"
+	"dlfuzz/internal/lang"
+	"dlfuzz/internal/static"
+)
+
+func main() {
+	var (
+		compare  = flag.Bool("compare", false, "also run the dynamic two-phase pipeline and contrast")
+		runs     = flag.Int("runs", 50, "Phase II executions per cycle in -compare mode")
+		showEdge = flag.Bool("edges", false, "print the full lock-order graph")
+	)
+	flag.Parse()
+	if len(flag.Args()) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dlstatic [flags] program.clf")
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fail(err)
+	}
+	prog, err := lang.Parse(file, string(src))
+	if err != nil {
+		fail(err)
+	}
+
+	res := static.Analyze(prog)
+	fmt.Printf("== static lock-order analysis: %s ==\n", file)
+	fmt.Printf("lock-order edges: %d\n", len(res.Edges))
+	if *showEdge {
+		for _, e := range res.Edges {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+	fmt.Printf("potential static deadlock cycles: %d\n", len(res.Cycles))
+	for i, c := range res.Cycles {
+		fmt.Printf("  %d: %s\n", i+1, c)
+	}
+
+	if !*compare {
+		return
+	}
+
+	fmt.Printf("\n== dynamic pipeline for comparison ==\n")
+	p, err := dlfuzz.ParseCLF(file, string(src))
+	if err != nil {
+		fail(err)
+	}
+	body := p.Body()
+	find, err := dlfuzz.Find(body, dlfuzz.DefaultFindOptions())
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("iGoodlock potential cycles: %d (+%d provably false by happens-before)\n",
+		len(find.Cycles), len(find.FalsePositives))
+	confirmed := 0
+	opts := dlfuzz.DefaultConfirmOptions()
+	opts.Runs = *runs
+	for _, cyc := range find.Cycles {
+		if dlfuzz.Confirm(body, cyc, opts).Confirmed() {
+			confirmed++
+		}
+	}
+	fmt.Printf("confirmed real by DeadlockFuzzer: %d\n", confirmed)
+	fmt.Printf("\nsummary: static reports %d site-level cycles; iGoodlock reports %d object-level cycles (%d provably false); %d confirmed as real deadlocks\n",
+		len(res.Cycles), len(find.Cycles)+len(find.FalsePositives), len(find.FalsePositives), confirmed)
+	fmt.Println("(site-level and object-level counts are not directly comparable: one factory site can stand for many objects, and vice versa every confirmed cycle maps to some static cycle)")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dlstatic:", err)
+	os.Exit(2)
+}

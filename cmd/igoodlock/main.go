@@ -1,0 +1,74 @@
+// Command igoodlock runs only Phase I: it observes one execution of a
+// CLF program (or a built-in workload) and prints the potential deadlock
+// cycles with full debugging context — thread and lock abstractions plus
+// the acquire-site stacks — in the paper's report format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dlfuzz"
+	"dlfuzz/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "analyze a named built-in workload instead of a CLF file")
+		k        = flag.Int("k", 10, "abstraction depth")
+		maxLen   = flag.Int("max-cycle-len", 0, "bound cycle length (0 = unbounded; the paper suggests 2 on a budget)")
+		seed     = flag.Int64("seed", 1, "first observation seed")
+		showDeps = flag.Bool("deps", false, "also print the lock dependency relation size")
+	)
+	flag.Parse()
+
+	var prog func(*dlfuzz.Ctx)
+	var name string
+	switch {
+	case *workload != "":
+		w, ok := workloads.ByName(*workload)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "igoodlock: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+		prog, name = w.Prog, w.Name
+	case len(flag.Args()) == 1:
+		file := flag.Arg(0)
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "igoodlock:", err)
+			os.Exit(2)
+		}
+		p, err := dlfuzz.ParseCLF(file, string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "igoodlock:", err)
+			os.Exit(2)
+		}
+		prog, name = p.Body(), file
+	default:
+		fmt.Fprintln(os.Stderr, "usage: igoodlock [flags] program.clf | igoodlock -workload name")
+		os.Exit(2)
+	}
+
+	opts := dlfuzz.DefaultFindOptions()
+	opts.K = *k
+	opts.MaxCycleLen = *maxLen
+	opts.Seed = *seed
+	rep, err := dlfuzz.Find(prog, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "igoodlock:", err)
+		os.Exit(1)
+	}
+	if *showDeps {
+		fmt.Printf("%s: lock dependency relation has %d entries\n", name, rep.Deps)
+	}
+	fmt.Printf("%s: %d potential deadlock cycles, %d provably false\n",
+		name, len(rep.Cycles), len(rep.FalsePositives))
+	for i, c := range rep.Cycles {
+		fmt.Printf("  %d: %s\n", i+1, c)
+	}
+	for i, c := range rep.FalsePositives {
+		fmt.Printf("  FP %d: %s\n", i+1, c)
+	}
+}

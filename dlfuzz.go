@@ -1,0 +1,324 @@
+package dlfuzz
+
+import (
+	"fmt"
+	"io"
+
+	"dlfuzz/internal/avoid"
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/fuzzer"
+	"dlfuzz/internal/harness"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/lang"
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/sched"
+)
+
+// Core types, re-exported so downstream users never import internal
+// packages directly.
+type (
+	// Ctx is the per-thread API a program under test uses: New,
+	// Acquire/Release/Sync, Call, Spawn, Join, Work, latches.
+	Ctx = sched.Ctx
+	// Thread is a simulated thread handle.
+	Thread = sched.Thread
+	// Latch is a one-shot broadcast synchronization object.
+	Latch = sched.Latch
+	// Obj is a dynamic object (anything with a lockable monitor).
+	Obj = object.Obj
+	// Loc is a statement label identifying a program location.
+	Loc = event.Loc
+	// Cycle is a potential deadlock cycle reported by Phase I.
+	Cycle = igoodlock.Cycle
+	// DeadlockInfo describes a confirmed deadlock: the cycle of
+	// threads, the locks they hold and want, and the acquire contexts.
+	DeadlockInfo = sched.DeadlockInfo
+	// Result is one scheduled execution's outcome.
+	Result = sched.Result
+	// Outcome classifies how an execution ended.
+	Outcome = sched.Outcome
+)
+
+// Execution outcomes.
+const (
+	// Completed means every thread terminated normally.
+	Completed = sched.Completed
+	// Deadlock means a resource deadlock was confirmed.
+	Deadlock = sched.Deadlock
+	// Stall means a communication deadlock (no lock cycle).
+	Stall = sched.Stall
+	// StepLimit means the execution hit its step bound.
+	StepLimit = sched.StepLimit
+)
+
+// Abstraction selects how thread and lock objects are identified across
+// executions (paper Section 2.4).
+type Abstraction = object.Abstraction
+
+// The three abstraction schemes.
+const (
+	// TrivialAbstraction treats all objects as the same.
+	TrivialAbstraction = object.Trivial
+	// KObjectAbstraction is k-object-sensitivity: the chain of
+	// allocation sites through creating objects.
+	KObjectAbstraction = object.KObject
+	// ExecIndexAbstraction is light-weight execution indexing, the
+	// paper's best-performing scheme and the default.
+	ExecIndexAbstraction = object.ExecIndex
+)
+
+// FindOptions configures Phase I.
+type FindOptions struct {
+	// Abstraction and K configure object identification.
+	Abstraction Abstraction
+	K           int
+	// MaxCycleLen bounds reported cycle length (0 = unbounded). The
+	// paper notes every real deadlock found had length 2.
+	MaxCycleLen int
+	// Seed is the first scheduler seed tried for the observation run.
+	Seed int64
+	// MaxSteps bounds the observation execution (0 = default).
+	MaxSteps int
+}
+
+// DefaultFindOptions returns the paper's configuration: execution
+// indexing with k=10.
+func DefaultFindOptions() FindOptions {
+	return FindOptions{Abstraction: ExecIndexAbstraction, K: 10}
+}
+
+// FindReport is Phase I's output.
+type FindReport struct {
+	// Cycles are potential deadlocks that could be real.
+	Cycles []*Cycle
+	// FalsePositives are reports proven impossible by the
+	// happens-before relation of the observed run.
+	FalsePositives []*Cycle
+	// Deps is the size of the recorded lock dependency relation.
+	Deps int
+	// Seed is the seed of the observation run that completed.
+	Seed int64
+}
+
+// Find observes one execution of prog and reports potential deadlock
+// cycles (iGoodlock). It retries seeds until an observation run
+// completes; ErrNoCompletedRun is returned if none does.
+func Find(prog func(*Ctx), opts FindOptions) (*FindReport, error) {
+	cfg := igoodlock.Config{
+		Abstraction: opts.Abstraction,
+		K:           opts.K,
+		MaxLen:      opts.MaxCycleLen,
+	}
+	p1, err := harness.RunPhase1(prog, cfg, opts.Seed, opts.MaxSteps)
+	if err != nil {
+		return nil, err
+	}
+	return &FindReport{
+		Cycles:         p1.Cycles,
+		FalsePositives: p1.FalsePositives,
+		Deps:           p1.Deps,
+		Seed:           p1.Seed,
+	}, nil
+}
+
+// ErrNoCompletedRun is returned by Find when every attempted observation
+// run deadlocks or stalls.
+var ErrNoCompletedRun = harness.ErrNoCompletedRun
+
+// ConfirmOptions configures Phase II.
+type ConfirmOptions struct {
+	// Abstraction and K must match the FindOptions that produced the
+	// cycle.
+	Abstraction Abstraction
+	K           int
+	// UseContext gates pause decisions on the full acquire context.
+	UseContext bool
+	// YieldOpt enables the Section 4 yield optimization.
+	YieldOpt bool
+	// Runs is the number of randomized executions (the paper uses
+	// 100); 0 means 100.
+	Runs int
+	// MaxSteps bounds each execution (0 = default).
+	MaxSteps int
+}
+
+// DefaultConfirmOptions returns the paper's variant 2 with 100 runs.
+func DefaultConfirmOptions() ConfirmOptions {
+	return ConfirmOptions{
+		Abstraction: ExecIndexAbstraction, K: 10,
+		UseContext: true, YieldOpt: true, Runs: 100,
+	}
+}
+
+// ConfirmReport summarizes a Phase II campaign against one cycle.
+type ConfirmReport struct {
+	// Runs is the number of executions performed.
+	Runs int
+	// Reproduced counts runs whose confirmed deadlock matched the
+	// target cycle; Deadlocked counts runs that hit any real deadlock.
+	Reproduced int
+	Deadlocked int
+	// AvgThrashes is the mean thrash count per run.
+	AvgThrashes float64
+	// Example is a witness deadlock from the first reproducing run
+	// (nil if none reproduced).
+	Example *DeadlockInfo
+}
+
+// Confirmed reports whether the cycle was reproduced at least once.
+func (r *ConfirmReport) Confirmed() bool { return r.Reproduced > 0 }
+
+// Probability returns the empirical reproduction probability.
+func (r *ConfirmReport) Probability() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.Reproduced) / float64(r.Runs)
+}
+
+// Confirm runs the active random checker against one potential cycle.
+func Confirm(prog func(*Ctx), cycle *Cycle, opts ConfirmOptions) *ConfirmReport {
+	if opts.Runs == 0 {
+		opts.Runs = 100
+	}
+	cfg := fuzzer.Config{
+		Abstraction: opts.Abstraction,
+		K:           opts.K,
+		UseContext:  opts.UseContext,
+		YieldOpt:    opts.YieldOpt,
+	}
+	out := &ConfirmReport{Runs: opts.Runs}
+	var thrashes int
+	for seed := 0; seed < opts.Runs; seed++ {
+		r := fuzzer.Run(prog, cycle, cfg, int64(seed), opts.MaxSteps)
+		if r.Result.Outcome == sched.Deadlock {
+			out.Deadlocked++
+		}
+		if r.Reproduced {
+			out.Reproduced++
+			if out.Example == nil {
+				out.Example = r.Result.Deadlock
+			}
+		}
+		thrashes += r.Stats.Thrashes
+	}
+	out.AvgThrashes = float64(thrashes) / float64(opts.Runs)
+	return out
+}
+
+// CheckOptions configures the full two-phase pipeline.
+type CheckOptions struct {
+	Find    FindOptions
+	Confirm ConfirmOptions
+}
+
+// DefaultCheckOptions combines the two phase defaults.
+func DefaultCheckOptions() CheckOptions {
+	return CheckOptions{Find: DefaultFindOptions(), Confirm: DefaultConfirmOptions()}
+}
+
+// CheckedCycle pairs a potential cycle with its confirmation campaign.
+type CheckedCycle struct {
+	Cycle   *Cycle
+	Confirm *ConfirmReport
+}
+
+// CheckReport is the full pipeline's output.
+type CheckReport struct {
+	Find   *FindReport
+	Cycles []CheckedCycle
+}
+
+// Confirmed returns the cycles Phase II reproduced.
+func (r *CheckReport) Confirmed() []CheckedCycle {
+	var out []CheckedCycle
+	for _, c := range r.Cycles {
+		if c.Confirm.Confirmed() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Check runs the whole DeadlockFuzzer pipeline: find potential cycles,
+// then try to create each one.
+func Check(prog func(*Ctx), opts CheckOptions) (*CheckReport, error) {
+	fr, err := Find(prog, opts.Find)
+	if err != nil {
+		return nil, err
+	}
+	out := &CheckReport{Find: fr}
+	for _, cyc := range fr.Cycles {
+		out.Cycles = append(out.Cycles, CheckedCycle{
+			Cycle:   cyc,
+			Confirm: Confirm(prog, cyc, opts.Confirm),
+		})
+	}
+	return out, nil
+}
+
+// Run executes prog once under the plain random scheduler (the paper's
+// Algorithm 2) with the given seed.
+func Run(prog func(*Ctx), seed int64) *Result {
+	return sched.New(sched.Options{Seed: seed}).Run(prog)
+}
+
+// ImmuneReport is RunImmune's outcome.
+type ImmuneReport struct {
+	// Result is the execution's outcome.
+	Result *Result
+	// Deferred counts scheduling decisions that steered a thread away
+	// from a recorded pattern.
+	Deferred int
+}
+
+// RunImmune executes prog once under a Dimmunix-style avoidance
+// scheduler (paper Section 6, Jula et al.): the recorded patterns —
+// typically cycles previously confirmed by Confirm — are kept from
+// recurring by never letting a second thread enter a pattern another
+// thread occupies. Avoidance is advisory: when only pattern-entering
+// threads can run, one runs, so the policy never livelocks.
+func RunImmune(prog func(*Ctx), patterns []*Cycle, opts ConfirmOptions, seed int64) *ImmuneReport {
+	cfg := fuzzer.Config{
+		Abstraction: opts.Abstraction,
+		K:           opts.K,
+		UseContext:  opts.UseContext,
+		YieldOpt:    opts.YieldOpt,
+	}
+	pol := avoid.New(patterns, cfg)
+	res := sched.New(sched.Options{Seed: seed, Policy: pol, MaxSteps: opts.MaxSteps}).Run(prog)
+	return &ImmuneReport{Result: res, Deferred: pol.Deferred()}
+}
+
+// Program is a parsed CLF program.
+type Program struct {
+	prog *lang.Program
+	out  io.Writer
+}
+
+// ParseCLF parses CLF source text; file is used in positions and labels.
+func ParseCLF(file, src string) (*Program, error) {
+	p, err := lang.Parse(file, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: p}, nil
+}
+
+// WithOutput directs the program's print() statements to w.
+func (p *Program) WithOutput(w io.Writer) *Program {
+	p.out = w
+	return p
+}
+
+// Body returns the program in the form Find/Confirm/Check accept.
+// CLF runtime errors surface as panics carrying a positioned message;
+// front-end errors were already rejected by ParseCLF.
+func (p *Program) Body() func(*Ctx) {
+	return lang.NewInterp(p.prog, p.out).Main()
+}
+
+// String identifies the program by file name.
+func (p *Program) String() string {
+	return fmt.Sprintf("clf program %s (%d functions)", p.prog.File, len(p.prog.Funcs))
+}

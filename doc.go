@@ -1,0 +1,30 @@
+// Package dlfuzz is a Go implementation of DeadlockFuzzer, the
+// randomized dynamic analysis of Joshi, Park, Sen and Naik, "A Randomized
+// Dynamic Program Analysis Technique for Detecting Real Deadlocks"
+// (PLDI 2009). It finds potential deadlocks in a simulated concurrent
+// program by observing one execution (iGoodlock, Phase I) and then
+// confirms them by actively steering a randomized scheduler into the
+// deadlock (Phase II) — so every confirmed report is a real, witnessed
+// deadlock, never a false positive.
+//
+// Programs under test run on a deterministic cooperative scheduler:
+// simulated threads written either in Go against the Ctx API or in CLF,
+// a small concurrent language with a Java-like sync statement. Every
+// execution is a pure function of (program, seed), which makes deadlock
+// probabilities measurable and every run replayable.
+//
+// The typical flow:
+//
+//	report, err := dlfuzz.Find(prog, dlfuzz.DefaultFindOptions())
+//	// report.Cycles are potential deadlocks with full context
+//	for _, cyc := range report.Cycles {
+//	    conf := dlfuzz.Confirm(prog, cyc, dlfuzz.DefaultConfirmOptions())
+//	    if conf.Confirmed() {
+//	        fmt.Println("real deadlock:", conf.Example)
+//	    }
+//	}
+//
+// or in one step:
+//
+//	res, err := dlfuzz.Check(prog, dlfuzz.DefaultCheckOptions())
+package dlfuzz

@@ -1,0 +1,92 @@
+// Webserver: the Jigsaw shutdown deadlock (paper Figure 3) and the
+// waitForRunner false positive (paper Section 5.4).
+//
+// An admin thread shuts the server down — killClients holds the
+// SocketClientFactory monitor and asks for the csList monitor — while a
+// client connection finishing goes the other way around. That inversion
+// is a real deadlock, and the checker witnesses it. The start handshake
+// inversion (CachedThread.waitForRunner) is also reported by iGoodlock
+// but is impossible in any real execution; the happens-before filter
+// proves it false and the checker never confirms it.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dlfuzz"
+)
+
+func prog(c *dlfuzz.Ctx) {
+	factory := c.New("SocketClientFactory", "httpd.initFactory:386")
+	csList := c.New("SocketClientState", "SocketClientFactory.<init>:130")
+	runnerTable := c.New("RunnerTable", "SocketClientFactory.<init>:134")
+
+	// Start handshake: the false-positive pattern. The starter holds
+	// the cached thread's monitor and the runner table; waitForRunner
+	// inverts the order but runs strictly after the latch.
+	ct := c.New("CachedThread", "SocketClientFactory.createClient:201")
+	started := c.NewLatch("CachedThread.<init>:82")
+	c.Sync(ct, "CachedThread.start:210", func() {
+		c.Sync(runnerTable, "CachedThread.register:218", func() {})
+	})
+
+	client := c.Spawn("SocketClient", ct, "CachedThread.start:226", func(c *dlfuzz.Ctx) {
+		c.Await(started, "CachedThread.run:301")
+		c.Sync(runnerTable, "CachedThread.waitForRunner:325", func() {
+			c.Sync(ct, "CachedThread.waitForRunner:327", func() {})
+		})
+		c.Work(6, "SocketClient.serve:128")
+		// Connection finished: csList -> factory.
+		c.Sync(csList, "SocketClientFactory.clientConnectionFinished:623", func() {
+			c.Sync(factory, "SocketClientFactory.decrIdleCount:574", func() {})
+		})
+	})
+	c.Signal(started, "CachedThread.start:230")
+
+	admin := c.Spawn("Admin", nil, "httpd.run:1711", func(c *dlfuzz.Ctx) {
+		c.Work(12, "httpd.waitForCommand:1720")
+		// Shutdown: factory -> csList.
+		c.Sync(factory, "SocketClientFactory.killClients:867", func() {
+			c.Sync(csList, "SocketClientFactory.killClients:872", func() {})
+		})
+	})
+
+	c.Join(client, "httpd.join:1745")
+	c.Join(admin, "httpd.join:1747")
+}
+
+func main() {
+	find, err := dlfuzz.Find(prog, dlfuzz.DefaultFindOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("plausible cycles: %d, provably false: %d\n",
+		len(find.Cycles), len(find.FalsePositives))
+	for _, cyc := range find.Cycles {
+		fmt.Printf("  plausible: %s\n", cyc)
+	}
+	for _, cyc := range find.FalsePositives {
+		fmt.Printf("  impossible (happens-before ordered): %s\n", cyc)
+	}
+
+	opts := dlfuzz.DefaultConfirmOptions()
+	opts.Runs = 50
+	for _, cyc := range find.Cycles {
+		rep := dlfuzz.Confirm(prog, cyc, opts)
+		fmt.Printf("\nconfirming the shutdown/connection inversion: probability %.2f\n", rep.Probability())
+		if rep.Example != nil {
+			fmt.Printf("  witness: %s\n", rep.Example)
+		}
+	}
+	// Belt and braces: the checker cannot confirm the filtered report
+	// either, because the latch forbids the required interleaving.
+	for _, cyc := range find.FalsePositives {
+		rep := dlfuzz.Confirm(prog, cyc, opts)
+		fmt.Printf("\ntrying the waitForRunner report anyway: reproduced %d/%d (expected 0)\n",
+			rep.Reproduced, rep.Runs)
+	}
+}

@@ -1,0 +1,3 @@
+module dlfuzz
+
+go 1.22

@@ -1,0 +1,137 @@
+package event
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindAcquire: "Acquire",
+		KindRelease: "Release",
+		KindCall:    "Call",
+		KindReturn:  "Return",
+		KindNew:     "New",
+		KindSpawn:   "Spawn",
+		KindJoin:    "Join",
+		KindStep:    "Step",
+		KindYield:   "Yield",
+		KindAwait:   "Await",
+		KindSignal:  "Signal",
+		KindExit:    "Exit",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind should include its value: %q", got)
+	}
+}
+
+func TestTIDString(t *testing.T) {
+	if got := TID(3).String(); got != "t3" {
+		t.Errorf("TID(3) = %q", got)
+	}
+	if got := NoThread.String(); got != "t?" {
+		t.Errorf("NoThread = %q", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: KindAcquire, Thread: 1, Loc: "f.go:5", Lock: 3, Seq: 12}
+	if got := e.String(); got != "#12 t1 Acquire(o3)@f.go:5" {
+		t.Errorf("event string = %q", got)
+	}
+	e = Event{Kind: KindCall, Thread: 0, Method: "run", Seq: 1}
+	if got := e.String(); got != "#1 t0 Call(run)" {
+		t.Errorf("call string = %q", got)
+	}
+}
+
+func TestContextCloneIndependent(t *testing.T) {
+	c := Context{"a:1", "b:2"}
+	d := c.Clone()
+	d[0] = "x:9"
+	if c[0] != "a:1" {
+		t.Error("Clone aliases the original")
+	}
+	if Context(nil).Clone() != nil {
+		t.Error("Clone of nil should be nil")
+	}
+}
+
+func TestContextEqual(t *testing.T) {
+	a := Context{"x:1", "y:2"}
+	if !a.Equal(Context{"x:1", "y:2"}) {
+		t.Error("equal contexts not Equal")
+	}
+	if a.Equal(Context{"x:1"}) || a.Equal(Context{"x:1", "y:3"}) {
+		t.Error("unequal contexts reported Equal")
+	}
+}
+
+func TestContextKeyInjectiveOnSamples(t *testing.T) {
+	// Key must distinguish contexts that differ in element boundaries.
+	a := Context{"ab", "c"}
+	b := Context{"a", "bc"}
+	if a.Key() == b.Key() {
+		t.Errorf("Key collides: %q vs %q", a, b)
+	}
+}
+
+func TestContextString(t *testing.T) {
+	c := Context{"15", "16"}
+	if got := c.String(); got != "[15, 16]" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: Clone is always Equal to the original, and Equal is
+// reflexive and symmetric.
+func TestContextProperties(t *testing.T) {
+	clone := func(parts []string) bool {
+		c := make(Context, len(parts))
+		for i, p := range parts {
+			c[i] = Loc(p)
+		}
+		return c.Equal(c.Clone()) && c.Clone().Equal(c)
+	}
+	if err := quick.Check(clone, nil); err != nil {
+		t.Error(err)
+	}
+	symmetric := func(a, b []string) bool {
+		ca := make(Context, len(a))
+		for i, p := range a {
+			ca[i] = Loc(p)
+		}
+		cb := make(Context, len(b))
+		for i, p := range b {
+			cb[i] = Loc(p)
+		}
+		return ca.Equal(cb) == cb.Equal(ca)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error(err)
+	}
+	keyAgrees := func(a, b []string) bool {
+		ca := make(Context, len(a))
+		for i, p := range a {
+			ca[i] = Loc(p)
+		}
+		cb := make(Context, len(b))
+		for i, p := range b {
+			cb[i] = Loc(p)
+		}
+		// Equal contexts must have equal keys.
+		if ca.Equal(cb) && ca.Key() != cb.Key() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(keyAgrees, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package fuzzer implements DeadlockFuzzer's Phase II (paper Section
+// 2.3): the active random deadlock-checking scheduler.
+//
+// The Policy runs the program under a random scheduler but pauses a
+// thread just before a lock acquire whose (abs(thread), abs(lock),
+// context) triple appears in the target potential-deadlock cycle reported
+// by iGoodlock. Paused threads keep their locks, so the remaining cycle
+// threads can walk into the deadlock, which the scheduler then confirms
+// via its wait-for-graph check (checkRealDeadlock). Because a confirmed
+// deadlock is an actual execution state, Phase II never reports a false
+// positive.
+//
+// The package also implements the two mitigations the paper evaluates:
+// the Section 4 yield optimization (a one-time yield before the first
+// lock acquire of a cycle component, avoiding the pause-while-holding-
+// the-first-lock thrashing pattern) and the livelock monitor (eviction of
+// threads paused for too long).
+package fuzzer
+
+import (
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/sched"
+)
+
+// Config selects a DeadlockFuzzer variant. The paper's Figure 2 variants:
+//
+//	variant 1: Abstraction=KObject,   UseContext=true,  YieldOpt=true
+//	variant 2: Abstraction=ExecIndex, UseContext=true,  YieldOpt=true  (default)
+//	variant 3: Abstraction=Trivial,   UseContext=true,  YieldOpt=true
+//	variant 4: Abstraction=ExecIndex, UseContext=false, YieldOpt=true
+//	variant 5: Abstraction=ExecIndex, UseContext=true,  YieldOpt=false
+type Config struct {
+	// Abstraction and K must match the configuration iGoodlock used to
+	// produce the target cycle, or the pause points will not be found.
+	Abstraction object.Abstraction
+	K           int
+	// UseContext requires the thread's acquire-site stack to equal the
+	// cycle component's context for a pause (false = variant 4).
+	UseContext bool
+	// YieldOpt enables the Section 4 optimization (false = variant 5).
+	YieldOpt bool
+	// YieldBudget bounds how many times one thread yields at one
+	// statement, so repeated yields cannot livelock the checker.
+	// 0 means the default of 50.
+	YieldBudget int
+	// PauseTimeout is the livelock monitor's eviction threshold in
+	// scheduler steps; a thread paused longer is released. 0 means the
+	// default of 5000. Timeout evictions do not count as thrashes.
+	PauseTimeout int
+}
+
+const (
+	defaultPauseTimeout = 5000
+	defaultYieldBudget  = 50
+)
+
+// DefaultConfig returns variant 2, the paper's best performer.
+func DefaultConfig() Config {
+	return Config{Abstraction: object.ExecIndex, K: 10, UseContext: true, YieldOpt: true}
+}
+
+// Stats reports what the policy did during one execution.
+type Stats struct {
+	// Thrashes counts the times every enabled thread was paused and a
+	// random one had to be released (paper Section 2.3).
+	Thrashes int
+	// Pauses counts pause decisions.
+	Pauses int
+	// Yields counts Section 4 yields taken.
+	Yields int
+	// Evictions counts livelock-monitor releases.
+	Evictions int
+}
+
+// Policy is the active random scheduler. It implements sched.Policy.
+// A Policy is single-use: create one per execution.
+type Policy struct {
+	cycle *igoodlock.Cycle
+	cfg   Config
+
+	paused   map[event.TID]int // tid -> step at which it was paused
+	freePass map[event.TID]bool
+	yielded  map[yieldKey]int // yields taken per (thread, site)
+	stats    Stats
+}
+
+type yieldKey struct {
+	tid event.TID
+	loc event.Loc
+}
+
+// New returns a policy that steers the execution toward cycle.
+func New(cycle *igoodlock.Cycle, cfg Config) *Policy {
+	if cfg.K == 0 {
+		cfg.K = 10
+	}
+	if cfg.PauseTimeout == 0 {
+		cfg.PauseTimeout = defaultPauseTimeout
+	}
+	if cfg.YieldBudget == 0 {
+		cfg.YieldBudget = defaultYieldBudget
+	}
+	return &Policy{
+		cycle:    cycle,
+		cfg:      cfg,
+		paused:   make(map[event.TID]int),
+		freePass: make(map[event.TID]bool),
+		yielded:  make(map[yieldKey]int),
+	}
+}
+
+// Stats returns the policy's counters for the execution so far.
+func (p *Policy) Stats() Stats { return p.stats }
+
+// Next implements Algorithm 3's scheduling loop for one decision.
+//
+// First, every alive thread standing at a lock acquire named by the
+// target cycle is paused — whether or not the lock is currently free;
+// the pause point is the statement, as in the paper, so paused threads
+// that happen to be blocked still belong to the Paused set and to the
+// thrash-eviction pool. Then a random enabled, un-paused thread is
+// picked. If everything enabled is paused, a random paused thread is
+// released with a free pass (a thrash) so the system makes progress.
+func (p *Policy) Next(s *sched.Scheduler, enabled []event.TID) event.TID {
+	p.evictStale(s)
+	for _, tid := range s.AliveTIDs() {
+		if _, ok := p.paused[tid]; ok || p.freePass[tid] {
+			continue
+		}
+		if req := s.Pending(tid); req.Kind == event.KindAcquire && p.matches(s, tid, req) {
+			p.paused[tid] = s.Steps()
+			p.stats.Pauses++
+		}
+	}
+	skipped := make(map[event.TID]bool)
+	for {
+		candidates := p.unpaused(enabled)
+		if len(candidates) == 0 {
+			p.thrash(s)
+			continue
+		}
+		// Drop one-decision yield skips, unless that would leave
+		// nothing to run.
+		runnable := candidates[:0:0]
+		for _, t := range candidates {
+			if !skipped[t] {
+				runnable = append(runnable, t)
+			}
+		}
+		if len(runnable) == 0 {
+			runnable = candidates
+		}
+		tid := runnable[s.Rand().Intn(len(runnable))]
+		req := s.Pending(tid)
+		if req.Kind == event.KindAcquire && p.freePass[tid] {
+			delete(p.freePass, tid)
+			return tid
+		}
+		if p.cfg.YieldOpt && len(runnable) > 1 && req.Kind == event.KindAcquire && p.shouldYield(s, tid, req) {
+			p.yielded[yieldKey{tid, req.Loc}]++
+			skipped[tid] = true
+			p.stats.Yields++
+			continue
+		}
+		return tid
+	}
+}
+
+// unpaused filters the paused threads out of enabled.
+func (p *Policy) unpaused(enabled []event.TID) []event.TID {
+	if len(p.paused) == 0 {
+		return enabled
+	}
+	out := make([]event.TID, 0, len(enabled))
+	for _, t := range enabled {
+		if _, ok := p.paused[t]; !ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// thrash releases one random paused thread, granting it a free pass so
+// the scheduler is guaranteed to progress even if the thread's next
+// acquire still matches the cycle.
+//
+// Exactly as in Algorithm 3, the victim is drawn from the whole Paused
+// set — including threads that have since become blocked on a held lock.
+// Releasing such a thread does not unblock anything immediately, which is
+// precisely how a badly placed pause can make the checker miss the
+// deadlock (the probability-0.25 miss analyzed in the paper's Section 3).
+func (p *Policy) thrash(s *sched.Scheduler) {
+	victims := make([]event.TID, 0, len(p.paused))
+	for t := range p.paused {
+		victims = append(victims, t)
+	}
+	sortTIDs(victims)
+	victim := victims[s.Rand().Intn(len(victims))]
+	delete(p.paused, victim)
+	p.freePass[victim] = true
+	p.stats.Thrashes++
+}
+
+// sortTIDs sorts in place (insertion sort; the sets are tiny) so that map
+// iteration order cannot leak nondeterminism into victim selection.
+func sortTIDs(ts []event.TID) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+// evictStale is the livelock monitor: it releases threads that have been
+// paused for longer than PauseTimeout steps.
+func (p *Policy) evictStale(s *sched.Scheduler) {
+	for t, since := range p.paused {
+		if s.Steps()-since > p.cfg.PauseTimeout {
+			delete(p.paused, t)
+			p.freePass[t] = true
+			p.stats.Evictions++
+		}
+	}
+}
+
+// matches reports whether thread tid's pending acquire corresponds to a
+// component of the target cycle: abs(t) and abs(l) match and — when
+// context sensitivity is on — the acquire-site stack including the
+// pending site equals the component's context.
+func (p *Policy) matches(s *sched.Scheduler, tid event.TID, req sched.Request) bool {
+	absT := p.cfg.Abstraction.Of(s.Thread(tid).Obj(), p.cfg.K)
+	absL := p.cfg.Abstraction.Of(req.Obj, p.cfg.K)
+	for _, comp := range p.cycle.Components {
+		if comp.ThreadAbs != absT || comp.LockAbs != absL {
+			continue
+		}
+		if !p.cfg.UseContext {
+			return true
+		}
+		ctx := s.Context(tid)
+		if len(ctx)+1 != len(comp.Context) {
+			continue
+		}
+		if comp.Context[len(ctx)] != req.Loc {
+			continue
+		}
+		if event.Context(comp.Context[:len(ctx)]).Equal(ctx) {
+			return true
+		}
+	}
+	return false
+}
+
+// shouldYield implements the Section 4 optimization: a thread matching a
+// cycle component's thread abstraction yields once before the bottommost
+// acquire of that component's context, letting other threads drain locks
+// they still need before the cycle starts forming.
+func (p *Policy) shouldYield(s *sched.Scheduler, tid event.TID, req sched.Request) bool {
+	if p.yielded[yieldKey{tid, req.Loc}] >= p.cfg.YieldBudget {
+		return false
+	}
+	// Only yield at the start of a component: no locks held yet.
+	if len(s.LockSet(tid)) != 0 {
+		return false
+	}
+	absT := p.cfg.Abstraction.Of(s.Thread(tid).Obj(), p.cfg.K)
+	for _, comp := range p.cycle.Components {
+		if comp.ThreadAbs != absT || len(comp.Context) == 0 {
+			continue
+		}
+		if comp.Context[0] == req.Loc {
+			return true
+		}
+	}
+	return false
+}

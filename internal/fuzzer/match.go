@@ -1,0 +1,72 @@
+package fuzzer
+
+import (
+	"fmt"
+	"sort"
+
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/sched"
+)
+
+// MatchesCycle reports whether a confirmed deadlock corresponds to the
+// target potential cycle: the same multiset of (abs(thread), abs(lock),
+// context) triples, independent of rotation. The paper uses this
+// distinction in Section 5.2 — on the Maps benchmarks DeadlockFuzzer
+// sometimes creates a real deadlock *different* from the cycle it was
+// given, which counts as a deadlock found but not as a reproduction.
+func MatchesCycle(dl *sched.DeadlockInfo, cycle *igoodlock.Cycle, cfg Config) bool {
+	if dl == nil || len(dl.Edges) != len(cycle.Components) {
+		return false
+	}
+	if cfg.K == 0 {
+		cfg.K = 10
+	}
+	got := make([]string, 0, len(dl.Edges))
+	for _, e := range dl.Edges {
+		key := fmt.Sprintf("%s/%s", cfg.Abstraction.Of(e.ThreadObj, cfg.K), cfg.Abstraction.Of(e.Want, cfg.K))
+		if cfg.UseContext {
+			key += "/" + e.Context.Key()
+		}
+		got = append(got, key)
+	}
+	want := make([]string, 0, len(cycle.Components))
+	for _, c := range cycle.Components {
+		key := fmt.Sprintf("%s/%s", c.ThreadAbs, c.LockAbs)
+		if cfg.UseContext {
+			key += "/" + c.Context.Key()
+		}
+		want = append(want, key)
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RunResult is the outcome of one Phase II execution.
+type RunResult struct {
+	// Result is the scheduler's verdict.
+	Result *sched.Result
+	// Reproduced reports whether the confirmed deadlock matches the
+	// target cycle (always false when no deadlock was confirmed).
+	Reproduced bool
+	// Stats are the policy's counters.
+	Stats Stats
+}
+
+// Run executes prog once under the active random checker with the given
+// target cycle, variant configuration and seed.
+func Run(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg Config, seed int64, maxSteps int) *RunResult {
+	pol := New(cycle, cfg)
+	s := sched.New(sched.Options{Seed: seed, Policy: pol, MaxSteps: maxSteps})
+	res := s.Run(prog)
+	return &RunResult{
+		Result:     res,
+		Reproduced: res.Outcome == sched.Deadlock && MatchesCycle(res.Deadlock, cycle, cfg),
+		Stats:      pol.Stats(),
+	}
+}

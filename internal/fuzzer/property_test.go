@@ -1,0 +1,181 @@
+package fuzzer
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/lockset"
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/sched"
+)
+
+// genOp is one operation of a generated thread: a plain step, or a
+// nested acquisition of two (possibly equal, hence re-entrant) locks.
+type genOp struct {
+	step         bool
+	outer, inner int
+}
+
+// genProgram builds a random straight-line lock program: nThreads
+// threads, each performing a fixed random sequence of properly nested
+// sync pairs over nLocks shared locks. No branches: every execution
+// covers the same statements, which makes the prediction property below
+// exact.
+func genProgram(rng *rand.Rand, nThreads, nLocks, opsPerThread int) func(*sched.Ctx) {
+	plans := make([][]genOp, nThreads)
+	for t := range plans {
+		for i := 0; i < opsPerThread; i++ {
+			if rng.Intn(3) == 0 {
+				plans[t] = append(plans[t], genOp{step: true})
+			} else {
+				plans[t] = append(plans[t], genOp{
+					outer: rng.Intn(nLocks),
+					inner: rng.Intn(nLocks),
+				})
+			}
+		}
+	}
+	return func(c *sched.Ctx) {
+		locks := make([]*object.Obj, nLocks)
+		for i := range locks {
+			locks[i] = c.New("Object", event.Loc(fmt.Sprintf("gen:lock%d", i)))
+		}
+		var ts []*sched.Thread
+		for t, plan := range plans {
+			t, plan := t, plan
+			ts = append(ts, c.Spawn(fmt.Sprintf("g%d", t),
+				nil, event.Loc(fmt.Sprintf("gen:spawn%d", t)), func(c *sched.Ctx) {
+					for i, o := range plan {
+						loc := func(part string) event.Loc {
+							return event.Loc(fmt.Sprintf("gen:t%d:%s%d", t, part, i))
+						}
+						if o.step {
+							c.Step(loc("step"))
+							continue
+						}
+						c.Sync(locks[o.outer], loc("outer"), func() {
+							c.Sync(locks[o.inner], loc("inner"), func() {})
+						})
+					}
+				}))
+		}
+		for i, th := range ts {
+			c.Join(th, event.Loc(fmt.Sprintf("gen:join%d", i)))
+		}
+	}
+}
+
+// TestGeneratedProgramsDeterministic: same program + same seed => same
+// outcome, steps and event count.
+func TestGeneratedProgramsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		prog := genProgram(rng, 2+rng.Intn(3), 2+rng.Intn(3), 2+rng.Intn(4))
+		for seed := int64(0); seed < 3; seed++ {
+			r1 := sched.New(sched.Options{Seed: seed, MaxSteps: 50_000}).Run(prog)
+			r2 := sched.New(sched.Options{Seed: seed, MaxSteps: 50_000}).Run(prog)
+			if r1.Outcome != r2.Outcome || r1.Steps != r2.Steps || r1.Events != r2.Events {
+				t.Fatalf("trial %d seed %d: %v/%d/%d vs %v/%d/%d",
+					trial, seed, r1.Outcome, r1.Steps, r1.Events, r2.Outcome, r2.Steps, r2.Events)
+			}
+		}
+	}
+}
+
+// TestGeneratedDeadlocksWellFormed: every confirmed deadlock is a
+// genuine hold-want cycle — each edge's wanted lock is held by the next
+// edge's thread.
+func TestGeneratedDeadlocksWellFormed(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for trial := 0; trial < 40; trial++ {
+		prog := genProgram(rng, 2+rng.Intn(3), 2+rng.Intn(2), 2+rng.Intn(4))
+		for seed := int64(0); seed < 8; seed++ {
+			res := sched.New(sched.Options{Seed: seed, MaxSteps: 50_000}).Run(prog)
+			switch res.Outcome {
+			case sched.Completed:
+			case sched.Deadlock:
+				checked++
+				dl := res.Deadlock
+				if len(dl.Edges) < 2 {
+					t.Fatalf("deadlock with %d edges", len(dl.Edges))
+				}
+				for i, e := range dl.Edges {
+					next := dl.Edges[(i+1)%len(dl.Edges)]
+					held := false
+					for _, h := range next.Held {
+						if h.ID == e.Want.ID {
+							held = true
+						}
+					}
+					if !held {
+						t.Fatalf("edge %d wants o%d, not held by next thread: %v", i, e.Want.ID, dl)
+					}
+					if len(e.Context) != len(e.Held)+1 {
+						t.Fatalf("edge %d context/holds mismatch: %v", i, e)
+					}
+				}
+			default:
+				t.Fatalf("trial %d seed %d: outcome %v", trial, seed, res.Outcome)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("no generated deadlocks; generator too cold")
+	}
+}
+
+// TestGeneratedDeadlocksPredicted: on branch-free programs, any deadlock
+// a random schedule can produce must appear in iGoodlock's prediction
+// from *any* completed observation run — the core soundness property of
+// the Goodlock family on deterministic control flow.
+func TestGeneratedDeadlocksPredicted(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	verified := 0
+	for trial := 0; trial < 30; trial++ {
+		prog := genProgram(rng, 2+rng.Intn(2), 2+rng.Intn(2), 2+rng.Intn(3))
+
+		// One completed observation run -> predicted cycles.
+		var cycles []*igoodlock.Cycle
+		found := false
+		for seed := int64(100); seed < 160; seed++ {
+			rec := lockset.NewRecorder()
+			s := sched.New(sched.Options{Seed: seed, Observers: []sched.Observer{rec}, MaxSteps: 50_000})
+			if s.Run(prog).Outcome == sched.Completed {
+				cycles = igoodlock.Find(rec.Deps(), igoodlock.DefaultConfig())
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue // pathologically hot program; skip this trial
+		}
+
+		cfg := DefaultConfig()
+		for seed := int64(0); seed < 10; seed++ {
+			res := sched.New(sched.Options{Seed: seed, MaxSteps: 50_000}).Run(prog)
+			if res.Outcome != sched.Deadlock {
+				continue
+			}
+			matched := false
+			for _, cyc := range cycles {
+				if MatchesCycle(res.Deadlock, cyc, cfg) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Fatalf("trial %d seed %d: deadlock not predicted:\n  got %v\n  predicted %v",
+					trial, seed, res.Deadlock, cycles)
+			}
+			verified++
+		}
+	}
+	if verified == 0 {
+		t.Skip("no deadlocks to verify; generator too cold")
+	}
+	t.Logf("verified %d deadlocks against predictions", verified)
+}

@@ -1,0 +1,265 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dlfuzz/internal/fuzzer"
+	"dlfuzz/internal/workloads"
+)
+
+// Table1Row is one benchmark's row of the paper's Table 1.
+type Table1Row struct {
+	Name     string
+	PaperLoC int
+	// Runtime proxies: average wall time of an uninstrumented run, the
+	// Phase I run (instrumented + analysis), and a Phase II run.
+	NormalMs    float64
+	Phase1Ms    float64
+	Phase2Ms    float64
+	NormalSteps float64
+	// Potential is iGoodlock's cycle count (plausible + provably
+	// false); ProvablyFalse is the happens-before filtered subset.
+	Potential     int
+	ProvablyFalse int
+	// Confirmed counts cycles DeadlockFuzzer reproduced at least once;
+	// Deadlocked counts cycles whose campaigns hit any real deadlock.
+	Confirmed  int
+	Deadlocked int
+	// Probability is the mean reproduction probability over all
+	// plausible cycles; AvgThrashes the mean thrash count per run.
+	Probability float64
+	AvgThrashes float64
+	// BaselineDeadlocks is how many of the uninstrumented control runs
+	// deadlocked (the paper observed 0 of 100).
+	BaselineDeadlocks int
+}
+
+// Table1Options sizes a Table 1 campaign.
+type Table1Options struct {
+	// Runs is the number of Phase II executions per cycle (the paper
+	// uses 100).
+	Runs int
+	// BaselineRuns is the number of uninstrumented control runs.
+	BaselineRuns int
+	// MaxSteps bounds each execution.
+	MaxSteps int
+	// MaxCycles caps how many cycles get a reproduction campaign
+	// (0 = all); useful to keep test-suite time bounded.
+	MaxCycles int
+}
+
+// DefaultTable1Options mirrors the paper's setup.
+func DefaultTable1Options() Table1Options {
+	return Table1Options{Runs: 100, BaselineRuns: 100}
+}
+
+// BuildTable1Row runs the full two-phase experiment for one workload.
+func BuildTable1Row(w workloads.Workload, opt Table1Options) (Table1Row, error) {
+	if opt.Runs == 0 {
+		opt.Runs = 100
+	}
+	if opt.BaselineRuns == 0 {
+		opt.BaselineRuns = opt.Runs
+	}
+	v := DefaultVariant()
+
+	row := Table1Row{Name: w.Name, PaperLoC: w.PaperLoC}
+
+	base := RunBaseline(w.Prog, opt.BaselineRuns, opt.MaxSteps)
+	row.NormalMs = float64(base.Elapsed.Microseconds()) / float64(base.Runs) / 1000
+	row.NormalSteps = base.AvgSteps()
+	row.BaselineDeadlocks = base.Deadlocked
+
+	p1, err := RunPhase1(w.Prog, v.Goodlock, 1, opt.MaxSteps)
+	if err != nil {
+		return row, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	row.Phase1Ms = float64(p1.Elapsed.Microseconds()) / 1000
+	row.Potential = len(p1.Cycles) + len(p1.FalsePositives)
+	row.ProvablyFalse = len(p1.FalsePositives)
+
+	cycles := p1.Cycles
+	if opt.MaxCycles > 0 && len(cycles) > opt.MaxCycles {
+		cycles = cycles[:opt.MaxCycles]
+	}
+	var probSum float64
+	var thrashSum float64
+	var p2Time time.Duration
+	var p2Runs int
+	for _, cyc := range cycles {
+		sum := RunPhase2(w.Prog, cyc, v.Fuzzer, opt.Runs, opt.MaxSteps)
+		if sum.Reproduced > 0 {
+			row.Confirmed++
+		}
+		if sum.Deadlocked > 0 {
+			row.Deadlocked++
+		}
+		probSum += sum.Probability()
+		thrashSum += sum.AvgThrashes()
+		p2Time += sum.Elapsed
+		p2Runs += sum.Runs
+	}
+	if n := len(cycles); n > 0 {
+		row.Probability = probSum / float64(n)
+		row.AvgThrashes = thrashSum / float64(n)
+	}
+	if p2Runs > 0 {
+		row.Phase2Ms = float64(p2Time.Microseconds()) / float64(p2Runs) / 1000
+	}
+	return row, nil
+}
+
+// Figure2Point is one (benchmark, variant) measurement of Figure 2:
+// runtime (normalized to the uninstrumented baseline), reproduction
+// probability, and thrashing.
+type Figure2Point struct {
+	Benchmark string
+	Variant   string
+	// RuntimeNorm is avg Phase II steps / avg baseline steps, the
+	// deterministic analogue of the paper's normalized runtime.
+	RuntimeNorm float64
+	Probability float64
+	AvgThrashes float64
+}
+
+// Figure2Benchmarks returns the four benchmarks the paper uses in
+// Figure 2.
+func Figure2Benchmarks() []workloads.Workload {
+	names := []string{"lists", "maps", "log", "dbcp", "swing"}
+	var out []workloads.Workload
+	for _, n := range names {
+		w, ok := workloads.ByName(n)
+		if !ok {
+			panic("harness: unknown figure-2 workload " + n)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// BuildFigure2 measures every (benchmark, variant) pair. runs is the
+// Phase II campaign size per cycle; maxCycles caps cycles per benchmark
+// (0 = all).
+func BuildFigure2(runs, maxCycles, maxSteps int) ([]Figure2Point, error) {
+	var out []Figure2Point
+	for _, w := range Figure2Benchmarks() {
+		base := RunBaseline(w.Prog, 10, maxSteps)
+		for _, v := range Variants() {
+			p1, err := RunPhase1(w.Prog, v.Goodlock, 1, maxSteps)
+			if err != nil {
+				return nil, fmt.Errorf("figure2 %s/%s: %w", w.Name, v.Name, err)
+			}
+			cycles := p1.Cycles
+			if maxCycles > 0 && len(cycles) > maxCycles {
+				cycles = cycles[:maxCycles]
+			}
+			pt := Figure2Point{Benchmark: w.Name, Variant: v.Name}
+			var steps float64
+			for _, cyc := range cycles {
+				sum := RunPhase2(w.Prog, cyc, v.Fuzzer, runs, maxSteps)
+				pt.Probability += sum.Probability()
+				pt.AvgThrashes += sum.AvgThrashes()
+				steps += sum.AvgSteps()
+			}
+			if n := len(cycles); n > 0 {
+				pt.Probability /= float64(n)
+				pt.AvgThrashes /= float64(n)
+				steps /= float64(n)
+			}
+			if b := base.AvgSteps(); b > 0 {
+				pt.RuntimeNorm = steps / b
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+// CorrelationPoint is one run's (thrashes, reproduced) observation for
+// Figure 2's fourth graph.
+type CorrelationPoint struct {
+	Thrashes   int
+	Reproduced bool
+}
+
+// BuildCorrelation gathers per-run (thrash count, reproduced)
+// observations across the Figure 2 benchmarks and *all five* variants.
+// The sweep must include the imprecise variants: the well-tuned default
+// barely ever thrashes, so the thrash axis only has support when coarse
+// abstractions and missing contexts are in the mix — which is exactly
+// the paper's point about why those runs fail.
+func BuildCorrelation(runs, maxCycles, maxSteps int) ([]CorrelationPoint, error) {
+	var out []CorrelationPoint
+	for _, w := range Figure2Benchmarks() {
+		for _, v := range Variants() {
+			p1, err := RunPhase1(w.Prog, v.Goodlock, 1, maxSteps)
+			if err != nil {
+				return nil, fmt.Errorf("correlation %s/%s: %w", w.Name, v.Name, err)
+			}
+			cycles := p1.Cycles
+			if maxCycles > 0 && len(cycles) > maxCycles {
+				cycles = cycles[:maxCycles]
+			}
+			for _, cyc := range cycles {
+				for seed := 0; seed < runs; seed++ {
+					r := fuzzer.Run(w.Prog, cyc, v.Fuzzer, int64(seed), maxSteps)
+					out = append(out, CorrelationPoint{
+						Thrashes:   r.Stats.Thrashes,
+						Reproduced: r.Reproduced,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// ProbabilityByThrashBucket reduces correlation points to the paper's
+// fourth graph: for each thrash count, the fraction of runs that
+// reproduced their deadlock.
+func ProbabilityByThrashBucket(points []CorrelationPoint) map[int]float64 {
+	count := map[int]int{}
+	hit := map[int]int{}
+	for _, p := range points {
+		count[p.Thrashes]++
+		if p.Reproduced {
+			hit[p.Thrashes]++
+		}
+	}
+	out := make(map[int]float64, len(count))
+	for k, n := range count {
+		out[k] = float64(hit[k]) / float64(n)
+	}
+	return out
+}
+
+// PearsonCorrelation computes the correlation coefficient between thrash
+// count and reproduction outcome across runs. The paper's claim is that
+// it is negative.
+func PearsonCorrelation(points []CorrelationPoint) float64 {
+	n := float64(len(points))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for _, p := range points {
+		x := float64(p.Thrashes)
+		y := 0.0
+		if p.Reproduced {
+			y = 1
+		}
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	num := n*sxy - sx*sy
+	den := math.Sqrt(n*sxx-sx*sx) * math.Sqrt(n*syy-sy*sy)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

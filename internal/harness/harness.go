@@ -1,0 +1,204 @@
+// Package harness runs the paper's experiments: Phase I observation
+// runs, Phase II reproduction campaigns over many seeds, uninstrumented
+// baselines, and the five DeadlockFuzzer variants of Figure 2.
+package harness
+
+import (
+	"errors"
+	"time"
+
+	"dlfuzz/internal/fuzzer"
+	"dlfuzz/internal/hb"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/lockset"
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/sched"
+)
+
+// Phase1Result is the outcome of one iGoodlock observation run.
+type Phase1Result struct {
+	// Cycles are the potential deadlock cycles that survive the
+	// happens-before filter (plausible reports).
+	Cycles []*igoodlock.Cycle
+	// FalsePositives are reports the happens-before filter proved
+	// impossible (Section 5.4's provable false warnings).
+	FalsePositives []*igoodlock.Cycle
+	// Deps is the size of the recorded lock dependency relation.
+	Deps int
+	// Seed is the seed of the (completed) observation run.
+	Seed int64
+	// Steps and Events describe the observation run.
+	Steps  int
+	Events uint64
+	// Elapsed is the wall time of instrumented execution + analysis.
+	Elapsed time.Duration
+}
+
+// ErrNoCompletedRun is returned when no seed yields a completed
+// observation execution.
+var ErrNoCompletedRun = errors.New("harness: no seed produced a completed observation run")
+
+// RunPhase1 observes the program under the plain random scheduler with
+// dependency recording and happens-before tracking, then runs iGoodlock.
+// Seeds from seed upward are tried until an execution completes (an
+// observation run that deadlocks has already found its deadlock and is
+// retried, like re-running a test that hung).
+func RunPhase1(prog func(*sched.Ctx), cfg igoodlock.Config, seed int64, maxSteps int) (*Phase1Result, error) {
+	start := time.Now()
+	for attempt := 0; attempt < 100; attempt++ {
+		s := seed + int64(attempt)
+		tracker := hb.NewTracker()
+		rec := lockset.NewRecorder().WithClocks(tracker)
+		sc := sched.New(sched.Options{
+			Seed:      s,
+			MaxSteps:  maxSteps,
+			Observers: []sched.Observer{tracker, rec},
+		})
+		res := sc.Run(prog)
+		if res.Outcome != sched.Completed {
+			continue
+		}
+		all := igoodlock.Find(rec.Deps(), cfg)
+		plausible, fps := hb.FilterCycles(all)
+		return &Phase1Result{
+			Cycles:         plausible,
+			FalsePositives: fps,
+			Deps:           rec.Len(),
+			Seed:           s,
+			Steps:          res.Steps,
+			Events:         res.Events,
+			Elapsed:        time.Since(start),
+		}, nil
+	}
+	return nil, ErrNoCompletedRun
+}
+
+// Phase2Summary aggregates a reproduction campaign: the checker run
+// `Runs` times against one target cycle, with seeds 0..Runs-1.
+type Phase2Summary struct {
+	Cycle *igoodlock.Cycle
+	Runs  int
+	// Deadlocked counts runs that confirmed any real deadlock;
+	// Reproduced counts those whose deadlock matched the target cycle.
+	Deadlocked int
+	Reproduced int
+	// Thrashes, Yields and Steps are totals across all runs.
+	Thrashes int
+	Yields   int
+	Steps    int
+	Elapsed  time.Duration
+}
+
+// Probability returns the empirical reproduction probability, the
+// paper's column 9.
+func (p *Phase2Summary) Probability() float64 {
+	if p.Runs == 0 {
+		return 0
+	}
+	return float64(p.Reproduced) / float64(p.Runs)
+}
+
+// AvgThrashes returns the average number of thrashings per run, the
+// paper's column 10.
+func (p *Phase2Summary) AvgThrashes() float64 {
+	if p.Runs == 0 {
+		return 0
+	}
+	return float64(p.Thrashes) / float64(p.Runs)
+}
+
+// AvgSteps returns the average scheduler steps per run (the
+// deterministic runtime proxy).
+func (p *Phase2Summary) AvgSteps() float64 {
+	if p.Runs == 0 {
+		return 0
+	}
+	return float64(p.Steps) / float64(p.Runs)
+}
+
+// RunPhase2 runs the active checker `runs` times against cycle.
+func RunPhase2(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Config, runs, maxSteps int) *Phase2Summary {
+	start := time.Now()
+	out := &Phase2Summary{Cycle: cycle, Runs: runs}
+	for seed := 0; seed < runs; seed++ {
+		r := fuzzer.Run(prog, cycle, cfg, int64(seed), maxSteps)
+		if r.Result.Outcome == sched.Deadlock {
+			out.Deadlocked++
+		}
+		if r.Reproduced {
+			out.Reproduced++
+		}
+		out.Thrashes += r.Stats.Thrashes
+		out.Yields += r.Stats.Yields
+		out.Steps += r.Result.Steps
+	}
+	out.Elapsed = time.Since(start)
+	return out
+}
+
+// Baseline is the uninstrumented control: the program under the plain
+// random scheduler, no observers, no biasing.
+type Baseline struct {
+	Runs       int
+	Deadlocked int
+	Steps      int
+	Elapsed    time.Duration
+}
+
+// AvgSteps returns the average steps per baseline run.
+func (b *Baseline) AvgSteps() float64 {
+	if b.Runs == 0 {
+		return 0
+	}
+	return float64(b.Steps) / float64(b.Runs)
+}
+
+// RunBaseline executes the program `runs` times under Algorithm 2,
+// counting how often normal testing stumbles into a deadlock (the
+// paper's 100-run control that never deadlocked).
+func RunBaseline(prog func(*sched.Ctx), runs, maxSteps int) *Baseline {
+	start := time.Now()
+	out := &Baseline{Runs: runs}
+	for seed := 0; seed < runs; seed++ {
+		s := sched.New(sched.Options{Seed: int64(seed), MaxSteps: maxSteps})
+		res := s.Run(prog)
+		if res.Outcome == sched.Deadlock {
+			out.Deadlocked++
+		}
+		out.Steps += res.Steps
+	}
+	out.Elapsed = time.Since(start)
+	return out
+}
+
+// Variant is one of the five DeadlockFuzzer configurations compared in
+// Figure 2. Phase I and Phase II must agree on the abstraction, so each
+// variant carries both configs.
+type Variant struct {
+	Name     string
+	Fuzzer   fuzzer.Config
+	Goodlock igoodlock.Config
+}
+
+// Variants returns the paper's five variants in Figure 2 order.
+func Variants() []Variant {
+	mk := func(name string, abs object.Abstraction, ctx, yield bool) Variant {
+		return Variant{
+			Name: name,
+			Fuzzer: fuzzer.Config{
+				Abstraction: abs, K: 10, UseContext: ctx, YieldOpt: yield,
+			},
+			Goodlock: igoodlock.Config{Abstraction: abs, K: 10},
+		}
+	}
+	return []Variant{
+		mk("context+k-object", object.KObject, true, true),
+		mk("context+exec-index", object.ExecIndex, true, true),
+		mk("ignore-abstraction", object.Trivial, true, true),
+		mk("ignore-context", object.ExecIndex, false, true),
+		mk("no-yields", object.ExecIndex, true, false),
+	}
+}
+
+// DefaultVariant returns variant 2, the configuration behind Table 1.
+func DefaultVariant() Variant { return Variants()[1] }

@@ -1,0 +1,44 @@
+package hb
+
+import "dlfuzz/internal/igoodlock"
+
+// FilterCycles partitions potential deadlock cycles into plausible and
+// provably-false sets using the must-happens-before relation of the
+// observed execution: a cycle requires all of its components' critical
+// sections to overlap, so if any two components' acquire events are
+// ordered by must synchronization (spawn/join/latch), the cycle cannot
+// occur in any execution with the same must-sync structure.
+//
+// Cycles whose dependencies carry no clocks (recorder ran without a
+// ClockSource) are conservatively kept as plausible.
+func FilterCycles(cycles []*igoodlock.Cycle) (plausible, falsePositives []*igoodlock.Cycle) {
+	for _, c := range cycles {
+		if provablyFalse(c) {
+			falsePositives = append(falsePositives, c)
+		} else {
+			plausible = append(plausible, c)
+		}
+	}
+	return plausible, falsePositives
+}
+
+// provablyFalse reports whether some pair of the cycle's acquire events
+// is ordered by must-happens-before.
+func provablyFalse(c *igoodlock.Cycle) bool {
+	for i := range c.Components {
+		vi := VC(c.Components[i].Dep.VC)
+		if vi == nil {
+			continue
+		}
+		for j := i + 1; j < len(c.Components); j++ {
+			vj := VC(c.Components[j].Dep.VC)
+			if vj == nil {
+				continue
+			}
+			if Ordered(vi, vj) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,143 @@
+// Package hb tracks the happens-before relation induced by *must*
+// synchronization — thread spawn, thread join, and latch signal/await —
+// using vector clocks.
+//
+// iGoodlock deliberately ignores happens-before: that is what gives it
+// predictive power, and also what produces false positives like the ones
+// the paper analyzes on Jigsaw (Section 5.4): cycles whose components can
+// never overlap because one must-happen-before the other (there, a
+// CachedThread's waitForRunner could only deadlock before the thread had
+// been started). This package provides the clocks and the cycle filter
+// that prove such reports false.
+//
+// Lock acquire/release ordering is intentionally *not* tracked: ordering
+// induced by who won a lock race is schedule-dependent, and folding it in
+// would throw away exactly the predictions Goodlock-style analyses exist
+// to make (the paper's "reduces the predictive power" remark).
+package hb
+
+import (
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/sched"
+)
+
+// VC is a vector clock indexed by thread id. The zero-length VC is the
+// bottom element.
+type VC []uint64
+
+// Clone returns an independent copy of v.
+func (v VC) Clone() VC {
+	out := make(VC, len(v))
+	copy(out, v)
+	return out
+}
+
+// Leq reports whether v happens-before-or-equals w pointwise.
+func (v VC) Leq(w VC) bool {
+	for i, x := range v {
+		if x == 0 {
+			continue
+		}
+		if i >= len(w) || x > w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ordered reports whether v and w are comparable (one happens-before the
+// other), i.e. the two events cannot be concurrent.
+func Ordered(v, w VC) bool {
+	return v.Leq(w) || w.Leq(v)
+}
+
+// join makes v the pointwise maximum of v and w, growing v as needed.
+func (v *VC) join(w VC) {
+	for len(*v) < len(w) {
+		*v = append(*v, 0)
+	}
+	for i, x := range w {
+		if x > (*v)[i] {
+			(*v)[i] = x
+		}
+	}
+}
+
+// tick increments thread t's own component.
+func (v *VC) tick(t event.TID) {
+	for len(*v) <= int(t) {
+		*v = append(*v, 0)
+	}
+	(*v)[t]++
+}
+
+// Tracker is a scheduler observer that maintains one vector clock per
+// thread and per latch. It implements sched.Observer and the
+// lockset.ClockSource the dependency recorder consumes.
+type Tracker struct {
+	clocks  []VC          // per thread
+	latches map[uint64]VC // latch object id -> clock at last signal
+	exited  map[event.TID]VC
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		latches: make(map[uint64]VC),
+		exited:  make(map[event.TID]VC),
+	}
+}
+
+// clock returns (allocating on demand) thread t's clock.
+func (k *Tracker) clock(t event.TID) *VC {
+	for len(k.clocks) <= int(t) {
+		k.clocks = append(k.clocks, nil)
+	}
+	if k.clocks[t] == nil {
+		v := make(VC, int(t)+1)
+		v[t] = 1
+		k.clocks[t] = v
+	}
+	return &k.clocks[t]
+}
+
+// Clock returns a snapshot of thread t's current vector clock.
+func (k *Tracker) Clock(t event.TID) []uint64 {
+	return (*k.clock(t)).Clone()
+}
+
+// OnEvent advances the executing thread's clock — every event is a local
+// tick, so an event after a spawn/signal is strictly above the clock the
+// child/awaiter inherited — and then applies the must-synchronization
+// edges.
+func (k *Tracker) OnEvent(ev sched.Ev) {
+	self := k.clock(ev.Thread)
+	self.tick(ev.Thread)
+	switch ev.Kind {
+	case event.KindSpawn:
+		child := k.clock(ev.Target)
+		child.join(*self)
+		child.tick(ev.Target)
+	case event.KindExit:
+		k.exited[ev.Thread] = self.Clone()
+	case event.KindJoin:
+		if final, ok := k.exited[ev.Target]; ok {
+			self.join(final)
+		}
+	case event.KindSignal:
+		lv := k.latches[ev.Obj.ID]
+		lv.join(*self)
+		k.latches[ev.Obj.ID] = lv
+	case event.KindAwait:
+		if lv, ok := k.latches[ev.Obj.ID]; ok {
+			self.join(lv)
+		}
+	case event.KindNotify:
+		// The notifier happens-before the woken thread's resumption.
+		// Joining into the target's clock directly is sound: its next
+		// event ticks above the joined value.
+		if ev.Target != event.NoThread {
+			k.clock(ev.Target).join(*self)
+		}
+	}
+}

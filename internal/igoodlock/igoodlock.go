@@ -1,0 +1,221 @@
+// Package igoodlock implements iGoodlock (paper Section 2.2): the
+// informative variant of the Goodlock algorithm that computes potential
+// deadlock cycles from the lock dependency relation of one observed
+// execution.
+//
+// Unlike classic Goodlock it builds no lock graph and runs no DFS.
+// It iteratively joins the dependency relation with itself — computing
+// all dependency chains of length k before any of length k+1 — trading
+// memory for runtime, and it attaches to every cycle the context (acquire
+// sites) and object abstractions the active random checker (Phase II)
+// needs to bias its scheduler.
+package igoodlock
+
+import (
+	"fmt"
+	"strings"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/lockset"
+	"dlfuzz/internal/object"
+)
+
+// Component is one element of a potential deadlock cycle: thread t_i
+// acquires lock l_i in context C_i; the next component's thread holds
+// l_i while asking for l_{i+1}.
+type Component struct {
+	// Dep is the concrete dependency from the observed execution.
+	Dep *lockset.Dep
+	// ThreadAbs and LockAbs are abs(t_i) and abs(l_i) under the
+	// configured abstraction; they identify the objects across runs.
+	ThreadAbs object.Key
+	LockAbs   object.Key
+	// Context is C_i, the acquire-site stack including the final
+	// acquire of l_i.
+	Context event.Context
+}
+
+// String renders the component as (abs(t), abs(l), C).
+func (c Component) String() string {
+	return fmt.Sprintf("(%s, %s, %s)", c.ThreadAbs, c.LockAbs, c.Context)
+}
+
+// Cycle is a potential deadlock cycle in abstract form.
+type Cycle struct {
+	Components []Component
+}
+
+// Len returns the cycle length (number of threads involved).
+func (c *Cycle) Len() int { return len(c.Components) }
+
+// Key returns a canonical identity for duplicate suppression: two cycles
+// with the same abstract components (in the same rotation) are the same
+// report.
+func (c *Cycle) Key() string {
+	parts := make([]string, len(c.Components))
+	for i, comp := range c.Components {
+		parts[i] = fmt.Sprintf("%s/%s/%s", comp.ThreadAbs, comp.LockAbs, comp.Context.Key())
+	}
+	return strings.Join(parts, "~")
+}
+
+// String renders the cycle in the paper's notation.
+func (c *Cycle) String() string {
+	parts := make([]string, len(c.Components))
+	for i, comp := range c.Components {
+		parts[i] = comp.String()
+	}
+	return strings.Join(parts, "")
+}
+
+// Config parameterizes the analysis.
+type Config struct {
+	// Abstraction selects the object-abstraction scheme used in
+	// reports (the zero value is object.Trivial); K is its depth
+	// (0 means 10). DefaultConfig returns the paper's variant 2.
+	Abstraction object.Abstraction
+	K           int
+	// MaxLen bounds cycle length (iterations of Algorithm 1); 0 means
+	// no bound. The paper notes all real deadlocks found had length 2,
+	// so a budgeted run can set MaxLen to 2.
+	MaxLen int
+	// MaxChains caps the total number of chains explored, a safety
+	// valve against pathological relations; 0 means 1,000,000.
+	MaxChains int
+}
+
+const defaultMaxChains = 1_000_000
+
+// DefaultConfig returns the paper's best-performing configuration:
+// light-weight execution indexing with k=10 and no length bound.
+func DefaultConfig() Config {
+	return Config{Abstraction: object.ExecIndex, K: 10}
+}
+
+// chain is a dependency chain (Definition 2) under construction.
+type chain struct {
+	deps []*lockset.Dep
+}
+
+// Find runs Algorithm 1 on the dependency relation and returns the
+// potential deadlock cycles, shortest first. Duplicate cycles — rotations
+// of one another, or distinct concrete cycles with identical abstract
+// reports — are suppressed: rotations by the requirement that the first
+// component has the minimum thread id, abstract duplicates by Key.
+func Find(deps []*lockset.Dep, cfg Config) []*Cycle {
+	if cfg.K == 0 {
+		cfg.K = 10
+	}
+	if cfg.MaxChains == 0 {
+		cfg.MaxChains = defaultMaxChains
+	}
+
+	// Index the relation by held lock: byHeld[l] lists dependencies
+	// whose L contains l, the extension candidates for a chain whose
+	// last acquired lock is l.
+	byHeld := make(map[uint64][]*lockset.Dep)
+	for _, d := range deps {
+		for _, h := range d.Held {
+			byHeld[h.ID] = append(byHeld[h.ID], d)
+		}
+	}
+
+	var cycles []*Cycle
+	seen := make(map[string]bool)
+	explored := 0
+
+	// D_1: single-dependency chains.
+	cur := make([]*chain, 0, len(deps))
+	for _, d := range deps {
+		cur = append(cur, &chain{deps: []*lockset.Dep{d}})
+	}
+
+	for i := 1; len(cur) > 0; i++ {
+		if cfg.MaxLen > 0 && i >= cfg.MaxLen {
+			// Chains of length MaxLen were already checked for
+			// cycle-hood when they were built (below); stop extending.
+			break
+		}
+		var next []*chain
+		for _, ch := range cur {
+			last := ch.deps[len(ch.deps)-1]
+			for _, d := range byHeld[last.Lock.ID] {
+				if !extendable(ch, d) {
+					continue
+				}
+				explored++
+				if explored > cfg.MaxChains {
+					return cycles
+				}
+				if closes(ch, d) {
+					cyc := report(ch, d, cfg)
+					if !seen[cyc.Key()] {
+						seen[cyc.Key()] = true
+						cycles = append(cycles, cyc)
+					}
+					// Do not extend a cycle further: Algorithm 1
+					// drops it from D_{i+1} so complex cycles that
+					// decompose into simpler ones are not reported.
+					continue
+				}
+				nd := make([]*lockset.Dep, len(ch.deps)+1)
+				copy(nd, ch.deps)
+				nd[len(ch.deps)] = d
+				next = append(next, &chain{deps: nd})
+			}
+		}
+		cur = next
+	}
+	return cycles
+}
+
+// extendable checks Definition 2 plus the duplicate-suppression order
+// constraint (Section 2.2.3) for appending d to ch.
+func extendable(ch *chain, d *lockset.Dep) bool {
+	first := ch.deps[0]
+	// Duplicate suppression: thread ids after the first must exceed it.
+	if d.Thread <= first.Thread {
+		return false
+	}
+	for _, e := range ch.deps {
+		// (1) threads pairwise distinct.
+		if e.Thread == d.Thread {
+			return false
+		}
+		// (2) locks pairwise distinct.
+		if e.Lock.ID == d.Lock.ID {
+			return false
+		}
+		// (4) held sets pairwise disjoint.
+		if e.Overlaps(d) {
+			return false
+		}
+	}
+	// (3) the previous lock is held by the new component — guaranteed
+	// by the byHeld index, but kept for callers that bypass it.
+	return d.Holds(ch.deps[len(ch.deps)-1].Lock)
+}
+
+// closes reports whether appending d to ch forms a potential deadlock
+// cycle (Definition 3): the new component's lock is held by the first.
+func closes(ch *chain, d *lockset.Dep) bool {
+	return ch.deps[0].Holds(d.Lock)
+}
+
+// report builds the abstract cycle for chain ch extended with d.
+func report(ch *chain, d *lockset.Dep, cfg Config) *Cycle {
+	cyc := &Cycle{}
+	add := func(dep *lockset.Dep) {
+		cyc.Components = append(cyc.Components, Component{
+			Dep:       dep,
+			ThreadAbs: cfg.Abstraction.Of(dep.ThreadObj, cfg.K),
+			LockAbs:   cfg.Abstraction.Of(dep.Lock, cfg.K),
+			Context:   dep.Context,
+		})
+	}
+	for _, dep := range ch.deps {
+		add(dep)
+	}
+	add(d)
+	return cyc
+}

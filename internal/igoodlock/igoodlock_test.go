@@ -1,0 +1,265 @@
+package igoodlock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/lockset"
+	"dlfuzz/internal/object"
+)
+
+// depBuilder fabricates dependency relations directly, without running
+// the scheduler, so the algorithm's combinatorics can be tested in
+// isolation.
+type depBuilder struct {
+	alloc object.Allocator
+	locks map[string]*object.Obj
+	objs  map[event.TID]*object.Obj
+	deps  []*lockset.Dep
+}
+
+func newDepBuilder() *depBuilder {
+	return &depBuilder{
+		locks: map[string]*object.Obj{},
+		objs:  map[event.TID]*object.Obj{},
+	}
+}
+
+func (b *depBuilder) lock(name string) *object.Obj {
+	if o, ok := b.locks[name]; ok {
+		return o
+	}
+	o := b.alloc.New("Lock", event.Loc("alloc:"+name), nil, []object.IndexEntry{{Loc: event.Loc("alloc:" + name), Count: 1}})
+	b.locks[name] = o
+	return o
+}
+
+func (b *depBuilder) thread(t event.TID) *object.Obj {
+	if o, ok := b.objs[t]; ok {
+		return o
+	}
+	o := b.alloc.New("Thread", event.Loc("spawn"), nil, []object.IndexEntry{{Loc: "spawn", Count: int(t) + 1}})
+	b.objs[t] = o
+	return o
+}
+
+// dep adds (t, held, lock) with a context naming every lock's acquire.
+func (b *depBuilder) dep(t event.TID, held []string, lock string) *depBuilder {
+	hobjs := make([]*object.Obj, len(held))
+	ctx := make(event.Context, 0, len(held)+1)
+	for i, h := range held {
+		hobjs[i] = b.lock(h)
+		ctx = append(ctx, event.Loc("acq:"+h))
+	}
+	ctx = append(ctx, event.Loc("acq:"+lock))
+	b.deps = append(b.deps, &lockset.Dep{
+		Thread:    t,
+		ThreadObj: b.thread(t),
+		Held:      hobjs,
+		Lock:      b.lock(lock),
+		Context:   ctx,
+	})
+	return b
+}
+
+func cfg() Config { return DefaultConfig() }
+
+func TestTwoCycle(t *testing.T) {
+	b := newDepBuilder().
+		dep(1, []string{"a"}, "b").
+		dep(2, []string{"b"}, "a")
+	cycles := Find(b.deps, cfg())
+	if len(cycles) != 1 || cycles[0].Len() != 2 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+}
+
+func TestNoDuplicateRotations(t *testing.T) {
+	// The same cycle must not be reported once per rotation
+	// (Section 2.2.3's min-thread-id rule).
+	b := newDepBuilder().
+		dep(1, []string{"a"}, "b").
+		dep(2, []string{"b"}, "c").
+		dep(3, []string{"c"}, "a")
+	cycles := Find(b.deps, cfg())
+	if len(cycles) != 1 || cycles[0].Len() != 3 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	if cycles[0].Components[0].Dep.Thread != 1 {
+		t.Errorf("canonical cycle should start at the smallest thread id")
+	}
+}
+
+func TestNoCycleOnConsistentOrder(t *testing.T) {
+	b := newDepBuilder().
+		dep(1, []string{"a"}, "b").
+		dep(2, []string{"a"}, "b").
+		dep(3, []string{"a", "b"}, "c")
+	if cycles := Find(b.deps, cfg()); len(cycles) != 0 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+}
+
+func TestSameThreadCannotCycle(t *testing.T) {
+	// Definition 2(1): threads pairwise distinct.
+	b := newDepBuilder().
+		dep(1, []string{"a"}, "b").
+		dep(1, []string{"b"}, "a")
+	if cycles := Find(b.deps, cfg()); len(cycles) != 0 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+}
+
+func TestGuardLockSuppressesCycle(t *testing.T) {
+	// Definition 2(4): a common held lock (a gate/guard lock) makes the
+	// critical sections mutually exclusive, so no deadlock.
+	b := newDepBuilder().
+		dep(1, []string{"g", "a"}, "b").
+		dep(2, []string{"g", "b"}, "a")
+	if cycles := Find(b.deps, cfg()); len(cycles) != 0 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+}
+
+func TestComplexCycleNotReported(t *testing.T) {
+	// A length-4 "cycle" decomposable into two 2-cycles must not be
+	// reported (Algorithm 1 drops closed cycles from D_{i+1}).
+	b := newDepBuilder().
+		dep(1, []string{"a"}, "b").
+		dep(2, []string{"b"}, "a").
+		dep(3, []string{"c"}, "d").
+		dep(4, []string{"d"}, "c")
+	cycles := Find(b.deps, cfg())
+	if len(cycles) != 2 {
+		t.Fatalf("want the two simple cycles, got %v", cycles)
+	}
+	for _, c := range cycles {
+		if c.Len() != 2 {
+			t.Errorf("complex cycle reported: %v", c)
+		}
+	}
+}
+
+func TestMaxLenBudget(t *testing.T) {
+	b := newDepBuilder().
+		dep(1, []string{"a"}, "b").
+		dep(2, []string{"b"}, "c").
+		dep(3, []string{"c"}, "a")
+	if cycles := Find(b.deps, Config{Abstraction: object.ExecIndex, K: 10, MaxLen: 2}); len(cycles) != 0 {
+		t.Fatalf("length-3 cycle reported under MaxLen=2: %v", cycles)
+	}
+	if cycles := Find(b.deps, Config{Abstraction: object.ExecIndex, K: 10, MaxLen: 3}); len(cycles) != 1 {
+		t.Fatal("length-3 cycle missed under MaxLen=3")
+	}
+}
+
+func TestMaxChainsGuard(t *testing.T) {
+	b := newDepBuilder()
+	// A dense relation: threads 1..6 each acquire each lock holding
+	// one other lock.
+	names := []string{"a", "b", "c", "d"}
+	for tid := event.TID(1); tid <= 6; tid++ {
+		for i, l := range names {
+			b.dep(tid, []string{names[(i+1)%len(names)]}, l)
+		}
+	}
+	full := Find(b.deps, cfg())
+	capped := Find(b.deps, Config{Abstraction: object.ExecIndex, K: 10, MaxChains: 5})
+	if len(capped) > len(full) {
+		t.Errorf("capped run found more cycles (%d) than full (%d)", len(capped), len(full))
+	}
+}
+
+func TestAbstractDuplicateSuppression(t *testing.T) {
+	// Two concrete cycles with identical abstractions collapse into one
+	// report under the trivial abstraction but stay distinct under
+	// execution indexing.
+	b := newDepBuilder().
+		dep(1, []string{"a"}, "b").
+		dep(2, []string{"b"}, "a").
+		dep(3, []string{"c"}, "d").
+		dep(4, []string{"d"}, "c")
+	execIdx := Find(b.deps, cfg())
+	if len(execIdx) != 2 {
+		t.Fatalf("exec-index cycles = %d", len(execIdx))
+	}
+	// Rebuild with identical contexts so only object identity differs.
+	b2 := newDepBuilder().
+		dep(1, []string{"a"}, "b").
+		dep(2, []string{"b"}, "a").
+		dep(3, []string{"c"}, "d").
+		dep(4, []string{"d"}, "c")
+	// Force all contexts equal.
+	for _, d := range b2.deps {
+		d.Context = event.Context{"x:1", "x:2"}
+	}
+	triv := Find(b2.deps, Config{Abstraction: object.Trivial, K: 10})
+	if len(triv) != 1 {
+		t.Errorf("trivial abstraction should collapse identical cycles: %d", len(triv))
+	}
+}
+
+func TestCycleKeyStable(t *testing.T) {
+	b := newDepBuilder().
+		dep(1, []string{"a"}, "b").
+		dep(2, []string{"b"}, "a")
+	c1 := Find(b.deps, cfg())[0]
+	c2 := Find(b.deps, cfg())[0]
+	if c1.Key() != c2.Key() {
+		t.Error("Key not deterministic")
+	}
+	if c1.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+// Property: on randomly generated relations, every reported cycle
+// satisfies Definitions 2 and 3 — distinct threads, distinct locks,
+// chained holds, disjoint held sets, and closure.
+func TestCyclesSatisfyDefinitionsProperty(t *testing.T) {
+	lockNames := []string{"a", "b", "c", "d", "e"}
+	prop := func(raw []uint8) bool {
+		b := newDepBuilder()
+		for i := 0; i+2 < len(raw); i += 3 {
+			tid := event.TID(raw[i]%4 + 1)
+			held := lockNames[raw[i+1]%5]
+			lock := lockNames[raw[i+2]%5]
+			if held == lock {
+				continue
+			}
+			b.dep(tid, []string{held}, lock)
+		}
+		for _, cyc := range Find(b.deps, cfg()) {
+			m := len(cyc.Components)
+			if m < 2 {
+				return false
+			}
+			seenT := map[event.TID]bool{}
+			seenL := map[uint64]bool{}
+			for i, comp := range cyc.Components {
+				d := comp.Dep
+				if seenT[d.Thread] || seenL[d.Lock.ID] {
+					return false
+				}
+				seenT[d.Thread] = true
+				seenL[d.Lock.ID] = true
+				next := cyc.Components[(i+1)%m].Dep
+				// Chain property: this component's lock is held by
+				// the next component's thread.
+				if !next.Holds(d.Lock) {
+					return false
+				}
+				for j := i + 1; j < m; j++ {
+					if d.Overlaps(cyc.Components[j].Dep) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,282 @@
+package lang
+
+// The CLF abstract syntax tree. Every node carries the position of its
+// leading token; statement nodes whose execution is observable (sync,
+// new, spawn, work) use that position as their label.
+
+// Program is a parsed CLF compilation unit.
+type Program struct {
+	File  string
+	Funcs []*FuncDecl
+	// byName is filled by Resolve.
+	byName map[string]*FuncDecl
+}
+
+// Func returns the declared function with the given name, if any.
+func (p *Program) Func(name string) (*FuncDecl, bool) {
+	f, ok := p.byName[name]
+	return f, ok
+}
+
+// FuncDecl is a function declaration.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []string
+	Body   *Block
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	stmtPos() Pos
+}
+
+// Block is a brace-delimited statement list.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+func (b *Block) stmtPos() Pos { return b.Pos }
+
+// VarStmt declares and initializes a local variable.
+type VarStmt struct {
+	Pos  Pos
+	Name string
+	Init Expr
+}
+
+func (s *VarStmt) stmtPos() Pos { return s.Pos }
+
+// AssignStmt assigns to an existing variable.
+type AssignStmt struct {
+	Pos  Pos
+	Name string
+	Val  Expr
+}
+
+func (s *AssignStmt) stmtPos() Pos { return s.Pos }
+
+// SyncStmt is `sync (e) { ... }`: acquire e's monitor, run the body,
+// release. Its Pos labels both the acquire and the release.
+type SyncStmt struct {
+	Pos  Pos
+	Lock Expr
+	Body *Block
+}
+
+func (s *SyncStmt) stmtPos() Pos { return s.Pos }
+
+// IfStmt is a conditional with an optional else branch (which may be
+// another IfStmt for `else if`).
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt, or nil
+}
+
+func (s *IfStmt) stmtPos() Pos { return s.Pos }
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *Block
+}
+
+func (s *WhileStmt) stmtPos() Pos { return s.Pos }
+
+// WorkStmt executes n scheduler steps: the model of a long-running
+// computation.
+type WorkStmt struct {
+	Pos Pos
+	N   Expr
+}
+
+func (s *WorkStmt) stmtPos() Pos { return s.Pos }
+
+// JoinStmt waits for a thread to terminate.
+type JoinStmt struct {
+	Pos    Pos
+	Thread Expr
+}
+
+func (s *JoinStmt) stmtPos() Pos { return s.Pos }
+
+// AwaitStmt blocks on a latch; SignalStmt sets one.
+type AwaitStmt struct {
+	Pos   Pos
+	Latch Expr
+}
+
+func (s *AwaitStmt) stmtPos() Pos { return s.Pos }
+
+// SignalStmt sets a latch, waking all awaiters.
+type SignalStmt struct {
+	Pos   Pos
+	Latch Expr
+}
+
+func (s *SignalStmt) stmtPos() Pos { return s.Pos }
+
+// WaitStmt is `waiton e;`: Java's Object.wait on e's monitor.
+type WaitStmt struct {
+	Pos Pos
+	Obj Expr
+}
+
+func (s *WaitStmt) stmtPos() Pos { return s.Pos }
+
+// NotifyStmt is `notify e;` or `notifyall e;`.
+type NotifyStmt struct {
+	Pos Pos
+	Obj Expr
+	All bool
+}
+
+func (s *NotifyStmt) stmtPos() Pos { return s.Pos }
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Pos Pos
+	Val Expr // nil for bare return
+}
+
+func (s *ReturnStmt) stmtPos() Pos { return s.Pos }
+
+// PrintStmt writes its arguments to the interpreter's output.
+type PrintStmt struct {
+	Pos  Pos
+	Args []Expr
+}
+
+func (s *PrintStmt) stmtPos() Pos { return s.Pos }
+
+// ExprStmt evaluates an expression for its effect (typically a call or
+// a spawn).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (s *ExprStmt) stmtPos() Pos { return s.Pos }
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	exprPos() Pos
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Pos Pos
+	Val int64
+}
+
+func (e *IntLit) exprPos() Pos { return e.Pos }
+
+// BoolLit is true/false.
+type BoolLit struct {
+	Pos Pos
+	Val bool
+}
+
+func (e *BoolLit) exprPos() Pos { return e.Pos }
+
+// StrLit is a string literal.
+type StrLit struct {
+	Pos Pos
+	Val string
+}
+
+func (e *StrLit) exprPos() Pos { return e.Pos }
+
+// NilLit is the nil literal.
+type NilLit struct {
+	Pos Pos
+}
+
+func (e *NilLit) exprPos() Pos { return e.Pos }
+
+// Ident references a variable.
+type Ident struct {
+	Pos  Pos
+	Name string
+}
+
+func (e *Ident) exprPos() Pos { return e.Pos }
+
+// NewExpr allocates an object: `new Object`. Its Pos is the allocation
+// site label.
+type NewExpr struct {
+	Pos  Pos
+	Type string
+}
+
+func (e *NewExpr) exprPos() Pos { return e.Pos }
+
+// NewLatchExpr allocates a latch.
+type NewLatchExpr struct {
+	Pos Pos
+}
+
+func (e *NewLatchExpr) exprPos() Pos { return e.Pos }
+
+// CallExpr invokes a declared function.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (e *CallExpr) exprPos() Pos { return e.Pos }
+
+// SpawnExpr starts `fn(args)` on a new thread and evaluates to its
+// handle. Its Pos is the thread object's allocation site.
+type SpawnExpr struct {
+	Pos  Pos
+	Call *CallExpr
+}
+
+func (e *SpawnExpr) exprPos() Pos { return e.Pos }
+
+// UnaryExpr is !x or -x.
+type UnaryExpr struct {
+	Pos Pos
+	Op  TokKind
+	X   Expr
+}
+
+func (e *UnaryExpr) exprPos() Pos { return e.Pos }
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   TokKind
+	L, R Expr
+}
+
+func (e *BinaryExpr) exprPos() Pos { return e.Pos }
+
+// FieldExpr reads a field: `e.name`.
+type FieldExpr struct {
+	Pos  Pos
+	Obj  Expr
+	Name string
+}
+
+func (e *FieldExpr) exprPos() Pos { return e.Pos }
+
+// FieldAssignStmt writes a field: `e.name = v;`. Fields live on the
+// shared heap: they are the one CLF construct threads can communicate
+// through besides synchronization, and they are safe to use unlocked
+// only because exactly one simulated thread runs at a time (a data-race
+// analysis is out of scope for this reproduction).
+type FieldAssignStmt struct {
+	Pos   Pos
+	Obj   Expr
+	Field string
+	Val   Expr
+}
+
+func (s *FieldAssignStmt) stmtPos() Pos { return s.Pos }

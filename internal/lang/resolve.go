@@ -1,0 +1,190 @@
+package lang
+
+import "fmt"
+
+// Resolve checks a parsed program for static errors: duplicate or
+// missing function definitions, calls with wrong arity, use of undefined
+// variables, and a missing main. It fills the program's function table.
+func Resolve(prog *Program) error {
+	prog.byName = make(map[string]*FuncDecl, len(prog.Funcs))
+	for _, f := range prog.Funcs {
+		if prev, dup := prog.byName[f.Name]; dup {
+			return errf(f.Pos, "function %s redeclared (previous declaration at %s)", f.Name, prev.Pos)
+		}
+		prog.byName[f.Name] = f
+	}
+	main, ok := prog.byName["main"]
+	if !ok {
+		return &Error{Pos: Pos{File: prog.File, Line: 1, Col: 1}, Msg: "no main function"}
+	}
+	if len(main.Params) != 0 {
+		return errf(main.Pos, "main must take no parameters")
+	}
+	for _, f := range prog.Funcs {
+		r := &resolver{prog: prog}
+		r.push()
+		for i, p := range f.Params {
+			for j := 0; j < i; j++ {
+				if f.Params[j] == p {
+					return errf(f.Pos, "duplicate parameter %s", p)
+				}
+			}
+			r.declare(p)
+		}
+		if err := r.block(f.Body, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resolver walks one function body with a scope stack.
+type resolver struct {
+	prog   *Program
+	scopes []map[string]bool
+}
+
+func (r *resolver) push() { r.scopes = append(r.scopes, map[string]bool{}) }
+func (r *resolver) pop()  { r.scopes = r.scopes[:len(r.scopes)-1] }
+func (r *resolver) declare(name string) {
+	r.scopes[len(r.scopes)-1][name] = true
+}
+
+func (r *resolver) defined(name string) bool {
+	for i := len(r.scopes) - 1; i >= 0; i-- {
+		if r.scopes[i][name] {
+			return true
+		}
+	}
+	return false
+}
+
+// block resolves a block; newScope controls whether it opens a scope
+// (function bodies reuse the parameter scope).
+func (r *resolver) block(b *Block, newScope bool) error {
+	if newScope {
+		r.push()
+		defer r.pop()
+	}
+	for _, s := range b.Stmts {
+		if err := r.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *resolver) stmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		return r.block(s, true)
+	case *VarStmt:
+		if err := r.expr(s.Init); err != nil {
+			return err
+		}
+		r.declare(s.Name)
+		return nil
+	case *AssignStmt:
+		if !r.defined(s.Name) {
+			return errf(s.Pos, "assignment to undefined variable %s", s.Name)
+		}
+		return r.expr(s.Val)
+	case *SyncStmt:
+		if err := r.expr(s.Lock); err != nil {
+			return err
+		}
+		return r.block(s.Body, true)
+	case *IfStmt:
+		if err := r.expr(s.Cond); err != nil {
+			return err
+		}
+		if err := r.block(s.Then, true); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return r.stmt(s.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := r.expr(s.Cond); err != nil {
+			return err
+		}
+		return r.block(s.Body, true)
+	case *WorkStmt:
+		return r.expr(s.N)
+	case *JoinStmt:
+		return r.expr(s.Thread)
+	case *AwaitStmt:
+		return r.expr(s.Latch)
+	case *SignalStmt:
+		return r.expr(s.Latch)
+	case *WaitStmt:
+		return r.expr(s.Obj)
+	case *NotifyStmt:
+		return r.expr(s.Obj)
+	case *FieldAssignStmt:
+		if err := r.expr(s.Obj); err != nil {
+			return err
+		}
+		return r.expr(s.Val)
+	case *ReturnStmt:
+		if s.Val != nil {
+			return r.expr(s.Val)
+		}
+		return nil
+	case *PrintStmt:
+		for _, a := range s.Args {
+			if err := r.expr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ExprStmt:
+		return r.expr(s.X)
+	default:
+		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+}
+
+func (r *resolver) expr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit, *BoolLit, *StrLit, *NilLit, *NewExpr, *NewLatchExpr:
+		return nil
+	case *Ident:
+		if !r.defined(e.Name) {
+			return errf(e.Pos, "undefined variable %s", e.Name)
+		}
+		return nil
+	case *CallExpr:
+		return r.call(e)
+	case *SpawnExpr:
+		return r.call(e.Call)
+	case *FieldExpr:
+		return r.expr(e.Obj)
+	case *UnaryExpr:
+		return r.expr(e.X)
+	case *BinaryExpr:
+		if err := r.expr(e.L); err != nil {
+			return err
+		}
+		return r.expr(e.R)
+	default:
+		panic(fmt.Sprintf("lang: unknown expression %T", e))
+	}
+}
+
+func (r *resolver) call(c *CallExpr) error {
+	f, ok := r.prog.byName[c.Name]
+	if !ok {
+		return errf(c.Pos, "call to undefined function %s", c.Name)
+	}
+	if len(c.Args) != len(f.Params) {
+		return errf(c.Pos, "%s takes %d arguments, got %d", c.Name, len(f.Params), len(c.Args))
+	}
+	for _, a := range c.Args {
+		if err := r.expr(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}

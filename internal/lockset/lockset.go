@@ -1,0 +1,146 @@
+// Package lockset records the lock dependency relation D of an execution
+// (paper Definition 1 and Section 2.2.1).
+//
+// A Recorder is a scheduler observer. On every Acquire event it appends a
+// dependency (t, L, l, C): thread t acquired lock l while holding the
+// locks L, having executed the acquire statements C (including the
+// current one) to reach this state. Release events need no bookkeeping
+// here because the scheduler snapshots L and C into the event itself.
+package lockset
+
+import (
+	"fmt"
+	"strings"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/sched"
+)
+
+// Dep is one lock dependency (t, L, l, C).
+type Dep struct {
+	// Thread is the acquiring thread's unique id in the observed run.
+	Thread event.TID
+	// ThreadObj is the acquiring thread's object (for abstraction).
+	ThreadObj *object.Obj
+	// Held is L: the locks held at the acquire, outermost first.
+	Held []*object.Obj
+	// Lock is l: the lock being acquired.
+	Lock *object.Obj
+	// Context is C: the acquire-site stack including the current site.
+	Context event.Context
+	// VC is the acquiring thread's vector clock at the acquire, when a
+	// ClockSource was attached to the recorder; nil otherwise. Used by
+	// the happens-before cycle filter.
+	VC []uint64
+}
+
+// Loc returns the label of the acquire statement itself (the last
+// element of the context).
+func (d *Dep) Loc() event.Loc {
+	return d.Context[len(d.Context)-1]
+}
+
+// Holds reports whether l is in the dependency's held set.
+func (d *Dep) Holds(l *object.Obj) bool {
+	for _, h := range d.Held {
+		if h.ID == l.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether the held sets of d and e intersect (the
+// L_i ∩ L_j = ∅ condition of Definition 2 is its negation).
+func (d *Dep) Overlaps(e *Dep) bool {
+	for _, a := range d.Held {
+		for _, b := range e.Held {
+			if a.ID == b.ID {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the dependency in the paper's tuple form.
+func (d *Dep) String() string {
+	held := make([]string, len(d.Held))
+	for i, h := range d.Held {
+		held[i] = fmt.Sprintf("o%d", h.ID)
+	}
+	return fmt.Sprintf("(%s, {%s}, o%d, %s)",
+		d.Thread, strings.Join(held, ","), d.Lock.ID, d.Context)
+}
+
+// key identifies a dependency up to the information Definition 2 uses,
+// so repeated executions of the same acquire (e.g. in a loop) do not
+// bloat D.
+func (d *Dep) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d;", d.Thread)
+	for _, h := range d.Held {
+		fmt.Fprintf(&b, "%d,", h.ID)
+	}
+	fmt.Fprintf(&b, ";%d;%s", d.Lock.ID, d.Context.Key())
+	return b.String()
+}
+
+// ClockSource supplies per-thread vector clocks; hb.Tracker implements
+// it. When attached to a Recorder it must be registered as an observer
+// *before* the recorder so clocks are up to date when deps are recorded.
+type ClockSource interface {
+	Clock(t event.TID) []uint64
+}
+
+// Recorder observes an execution and accumulates the dependency relation.
+// It implements sched.Observer.
+type Recorder struct {
+	deps   []*Dep
+	seen   map[string]bool
+	clocks ClockSource
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{seen: make(map[string]bool)}
+}
+
+// WithClocks attaches a clock source and returns the recorder.
+func (r *Recorder) WithClocks(cs ClockSource) *Recorder {
+	r.clocks = cs
+	return r
+}
+
+// OnEvent records Acquire events with a non-empty held set. A dependency
+// with empty L cannot appear in any cycle — Definition 3 requires
+// l_m ∈ L_1 and Definition 2 requires l_{i-1} ∈ L_i, so every component
+// of a cycle holds at least one lock — and is dropped to keep D small.
+func (r *Recorder) OnEvent(ev sched.Ev) {
+	if ev.Kind != event.KindAcquire || len(ev.LockSet) == 0 {
+		return
+	}
+	d := &Dep{
+		Thread:    ev.Thread,
+		ThreadObj: ev.ThreadObj,
+		Held:      ev.LockSet,
+		Lock:      ev.Obj,
+		Context:   ev.Context,
+	}
+	k := d.key()
+	if r.seen[k] {
+		return
+	}
+	if r.clocks != nil {
+		d.VC = r.clocks.Clock(ev.Thread)
+	}
+	r.seen[k] = true
+	r.deps = append(r.deps, d)
+}
+
+// Deps returns the recorded relation in observation order.
+func (r *Recorder) Deps() []*Dep { return r.deps }
+
+// Len returns the number of distinct dependencies recorded.
+func (r *Recorder) Len() int { return len(r.deps) }

@@ -1,0 +1,150 @@
+package lockset
+
+import (
+	"testing"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/sched"
+)
+
+// mkObj builds standalone objects for recorder tests.
+func mkObj(a *object.Allocator, site event.Loc) *object.Obj {
+	return a.New("Object", site, nil, nil)
+}
+
+// acquireEv fabricates the scheduler event for "thread t acquires l
+// holding held in context ctx".
+func acquireEv(t event.TID, tobj *object.Obj, held []*object.Obj, l *object.Obj, ctx event.Context) sched.Ev {
+	return sched.Ev{
+		Kind:      event.KindAcquire,
+		Thread:    t,
+		ThreadObj: tobj,
+		Obj:       l,
+		LockSet:   held,
+		Context:   ctx,
+	}
+}
+
+func TestRecorderSkipsTopLevelAcquires(t *testing.T) {
+	var a object.Allocator
+	l := mkObj(&a, "l:1")
+	r := NewRecorder()
+	r.OnEvent(acquireEv(1, mkObj(&a, "t:1"), nil, l, event.Context{"c:1"}))
+	if r.Len() != 0 {
+		t.Errorf("acquire with empty held set recorded: %v", r.Deps())
+	}
+}
+
+func TestRecorderRecordsNestedAcquire(t *testing.T) {
+	var a object.Allocator
+	tobj := mkObj(&a, "t:1")
+	l1, l2 := mkObj(&a, "l:1"), mkObj(&a, "l:2")
+	r := NewRecorder()
+	r.OnEvent(acquireEv(1, tobj, []*object.Obj{l1}, l2, event.Context{"c:1", "c:2"}))
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	d := r.Deps()[0]
+	if d.Thread != 1 || d.Lock != l2 || len(d.Held) != 1 || d.Held[0] != l1 {
+		t.Errorf("dep = %+v", d)
+	}
+	if d.Loc() != "c:2" {
+		t.Errorf("Loc() = %v", d.Loc())
+	}
+}
+
+func TestRecorderDeduplicates(t *testing.T) {
+	var a object.Allocator
+	tobj := mkObj(&a, "t:1")
+	l1, l2 := mkObj(&a, "l:1"), mkObj(&a, "l:2")
+	r := NewRecorder()
+	ev := acquireEv(1, tobj, []*object.Obj{l1}, l2, event.Context{"c:1", "c:2"})
+	r.OnEvent(ev)
+	r.OnEvent(ev) // a loop re-executing the same acquire
+	if r.Len() != 1 {
+		t.Errorf("duplicate dependency recorded: %d", r.Len())
+	}
+	// Different context: distinct dependency.
+	r.OnEvent(acquireEv(1, tobj, []*object.Obj{l1}, l2, event.Context{"c:9", "c:2"}))
+	if r.Len() != 2 {
+		t.Errorf("distinct context not recorded: %d", r.Len())
+	}
+}
+
+func TestRecorderIgnoresOtherEvents(t *testing.T) {
+	var a object.Allocator
+	l := mkObj(&a, "l:1")
+	r := NewRecorder()
+	for _, k := range []event.Kind{event.KindRelease, event.KindCall, event.KindNew, event.KindStep} {
+		r.OnEvent(sched.Ev{Kind: k, Thread: 1, Obj: l, LockSet: []*object.Obj{l}})
+	}
+	if r.Len() != 0 {
+		t.Errorf("non-acquire events recorded: %d", r.Len())
+	}
+}
+
+func TestDepHoldsAndOverlaps(t *testing.T) {
+	var a object.Allocator
+	l1, l2, l3 := mkObj(&a, "l:1"), mkObj(&a, "l:2"), mkObj(&a, "l:3")
+	d1 := &Dep{Thread: 1, Held: []*object.Obj{l1, l2}, Lock: l3}
+	d2 := &Dep{Thread: 2, Held: []*object.Obj{l2}, Lock: l1}
+	d3 := &Dep{Thread: 3, Held: []*object.Obj{l3}, Lock: l1}
+	if !d1.Holds(l1) || !d1.Holds(l2) || d1.Holds(l3) {
+		t.Error("Holds misbehaves")
+	}
+	if !d1.Overlaps(d2) || d2.Overlaps(d3) || d3.Overlaps(d2) {
+		t.Error("Overlaps misbehaves")
+	}
+	if d3.Overlaps(d1) != d1.Overlaps(d3) || d1.Overlaps(d2) != d2.Overlaps(d1) {
+		t.Error("Overlaps must be symmetric")
+	}
+}
+
+func TestRecorderClockSource(t *testing.T) {
+	var a object.Allocator
+	tobj := mkObj(&a, "t:1")
+	l1, l2 := mkObj(&a, "l:1"), mkObj(&a, "l:2")
+	r := NewRecorder().WithClocks(stubClocks{})
+	r.OnEvent(acquireEv(4, tobj, []*object.Obj{l1}, l2, event.Context{"a", "b"}))
+	d := r.Deps()[0]
+	if len(d.VC) != 5 || d.VC[4] != 42 {
+		t.Errorf("VC = %v", d.VC)
+	}
+}
+
+type stubClocks struct{}
+
+func (stubClocks) Clock(t event.TID) []uint64 {
+	v := make([]uint64, int(t)+1)
+	v[t] = 42
+	return v
+}
+
+// TestRecorderEndToEnd runs a real scheduled program and checks the
+// relation matches the paper's Section 2.2.1 bookkeeping.
+func TestRecorderEndToEnd(t *testing.T) {
+	rec := NewRecorder()
+	s := sched.New(sched.Options{Seed: 1, Observers: []sched.Observer{rec}})
+	s.Run(func(c *sched.Ctx) {
+		a := c.New("Object", "o:1")
+		b := c.New("Object", "o:2")
+		x := c.New("Object", "o:3")
+		c.Sync(a, "s:1", func() {
+			c.Sync(b, "s:2", func() {
+				c.Sync(x, "s:3", func() {})
+			})
+		})
+	})
+	if rec.Len() != 2 {
+		t.Fatalf("deps = %v", rec.Deps())
+	}
+	inner := rec.Deps()[1]
+	if len(inner.Held) != 2 {
+		t.Errorf("innermost dep holds %d locks, want 2", len(inner.Held))
+	}
+	want := event.Context{"s:1", "s:2", "s:3"}
+	if !inner.Context.Equal(want) {
+		t.Errorf("context = %v, want %v", inner.Context, want)
+	}
+}

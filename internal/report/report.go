@@ -1,0 +1,162 @@
+// Package report renders experiment results as text tables matching the
+// layout of the paper's Table 1 and the four graphs of Figure 2.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dlfuzz/internal/harness"
+)
+
+// WriteTable1 renders Table 1 rows.
+func WriteTable1(w io.Writer, rows []harness.Table1Row) {
+	tw := newTextTable(
+		"program", "paper-loc", "normal-ms", "igoodlock-ms", "df-ms",
+		"potential", "hb-false", "confirmed", "prob", "avg-thrash", "baseline-dl",
+	)
+	for _, r := range rows {
+		prob, thrash := "-", "-"
+		if r.Potential-r.ProvablyFalse > 0 {
+			prob = fmt.Sprintf("%.3f", r.Probability)
+			thrash = fmt.Sprintf("%.2f", r.AvgThrashes)
+		}
+		tw.row(
+			r.Name,
+			fmt.Sprintf("%d", r.PaperLoC),
+			fmt.Sprintf("%.3f", r.NormalMs),
+			fmt.Sprintf("%.3f", r.Phase1Ms),
+			fmt.Sprintf("%.3f", r.Phase2Ms),
+			fmt.Sprintf("%d", r.Potential),
+			fmt.Sprintf("%d", r.ProvablyFalse),
+			fmt.Sprintf("%d", r.Confirmed),
+			prob,
+			thrash,
+			fmt.Sprintf("%d", r.BaselineDeadlocks),
+		)
+	}
+	tw.flush(w)
+}
+
+// WriteFigure2 renders the figure's three per-variant graphs as one
+// table per metric: normalized runtime, reproduction probability, and
+// average thrashing, each benchmark x variant.
+func WriteFigure2(w io.Writer, points []harness.Figure2Point) {
+	benchmarks, variants := axes(points)
+	byKey := make(map[string]harness.Figure2Point, len(points))
+	for _, p := range points {
+		byKey[p.Benchmark+"/"+p.Variant] = p
+	}
+	metric := func(title string, get func(harness.Figure2Point) float64, format string) {
+		fmt.Fprintf(w, "%s\n", title)
+		tw := newTextTable(append([]string{"benchmark"}, variants...)...)
+		for _, b := range benchmarks {
+			cells := []string{b}
+			for _, v := range variants {
+				cells = append(cells, fmt.Sprintf(format, get(byKey[b+"/"+v])))
+			}
+			tw.row(cells...)
+		}
+		tw.flush(w)
+		fmt.Fprintln(w)
+	}
+	metric("Figure 2(a): runtime normalized to uninstrumented run",
+		func(p harness.Figure2Point) float64 { return p.RuntimeNorm }, "%.2f")
+	metric("Figure 2(b): probability of reproducing the deadlock",
+		func(p harness.Figure2Point) float64 { return p.Probability }, "%.3f")
+	metric("Figure 2(c): average thrashings per run",
+		func(p harness.Figure2Point) float64 { return p.AvgThrashes }, "%.2f")
+}
+
+// WriteCorrelation renders Figure 2(d): probability of reproduction per
+// thrash-count bucket plus the overall correlation coefficient.
+func WriteCorrelation(w io.Writer, points []harness.CorrelationPoint) {
+	fmt.Fprintln(w, "Figure 2(d): thrashing vs probability of reproduction")
+	buckets := harness.ProbabilityByThrashBucket(points)
+	keys := make([]int, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	tw := newTextTable("#thrashes", "probability", "runs")
+	counts := map[int]int{}
+	for _, p := range points {
+		counts[p.Thrashes]++
+	}
+	for _, k := range keys {
+		tw.row(fmt.Sprintf("%d", k), fmt.Sprintf("%.3f", buckets[k]), fmt.Sprintf("%d", counts[k]))
+	}
+	tw.flush(w)
+	fmt.Fprintf(w, "Pearson correlation (thrashes vs reproduced): %.3f\n", harness.PearsonCorrelation(points))
+}
+
+// axes extracts sorted benchmark names and variant names in first-seen
+// variant order (the paper's variant numbering).
+func axes(points []harness.Figure2Point) (benchmarks, variants []string) {
+	seenB := map[string]bool{}
+	seenV := map[string]bool{}
+	for _, p := range points {
+		if !seenB[p.Benchmark] {
+			seenB[p.Benchmark] = true
+			benchmarks = append(benchmarks, p.Benchmark)
+		}
+		if !seenV[p.Variant] {
+			seenV[p.Variant] = true
+			variants = append(variants, p.Variant)
+		}
+	}
+	return benchmarks, variants
+}
+
+// textTable is a minimal column-aligned text table writer.
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+func newTextTable(header ...string) *textTable {
+	return &textTable{header: header}
+}
+
+func (t *textTable) row(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *textTable) flush(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"dlfuzz/internal/harness"
+)
+
+func TestWriteTable1(t *testing.T) {
+	rows := []harness.Table1Row{
+		{Name: "cache4j", PaperLoC: 3897, NormalMs: 0.5, Phase1Ms: 1.2},
+		{Name: "dbcp", PaperLoC: 27194, Potential: 2, Confirmed: 2, Probability: 1, AvgThrashes: 0.25},
+	}
+	var b strings.Builder
+	WriteTable1(&b, rows)
+	out := b.String()
+	for _, want := range []string{"program", "cache4j", "dbcp", "1.000", "0.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Deadlock-free rows print "-" for probability, like the paper.
+	line := lineContaining(out, "cache4j")
+	if !strings.Contains(line, "-") {
+		t.Errorf("cache4j row should use '-': %q", line)
+	}
+}
+
+func TestWriteFigure2(t *testing.T) {
+	points := []harness.Figure2Point{
+		{Benchmark: "log", Variant: "v1", RuntimeNorm: 2.5, Probability: 0.7, AvgThrashes: 1.5},
+		{Benchmark: "log", Variant: "v2", RuntimeNorm: 1.5, Probability: 1.0, AvgThrashes: 0.0},
+		{Benchmark: "dbcp", Variant: "v1", RuntimeNorm: 3.0, Probability: 0.6, AvgThrashes: 2.0},
+		{Benchmark: "dbcp", Variant: "v2", RuntimeNorm: 1.1, Probability: 0.9, AvgThrashes: 0.5},
+	}
+	var b strings.Builder
+	WriteFigure2(&b, points)
+	out := b.String()
+	for _, want := range []string{"Figure 2(a)", "Figure 2(b)", "Figure 2(c)", "v1", "v2", "log", "dbcp", "0.700"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteCorrelation(t *testing.T) {
+	points := []harness.CorrelationPoint{
+		{Thrashes: 0, Reproduced: true},
+		{Thrashes: 0, Reproduced: true},
+		{Thrashes: 4, Reproduced: false},
+	}
+	var b strings.Builder
+	WriteCorrelation(&b, points)
+	out := b.String()
+	for _, want := range []string{"Figure 2(d)", "#thrashes", "Pearson", "1.000", "0.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("correlation output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTextTableAlignment(t *testing.T) {
+	tw := newTextTable("a", "long-header")
+	tw.row("xxxxxxxx", "y")
+	var b strings.Builder
+	tw.flush(&b)
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %q", lines)
+	}
+	// The separator must span both column widths.
+	if !strings.HasPrefix(lines[1], "--------") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if strings.Index(lines[0], "long-header") != strings.Index(lines[2], "y") {
+		t.Errorf("columns misaligned:\n%s", b.String())
+	}
+}
+
+// lineContaining returns the first output line containing s.
+func lineContaining(out, s string) string {
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, s) {
+			return l
+		}
+	}
+	return ""
+}

@@ -1,0 +1,168 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/object"
+)
+
+// TestSchedulerAccessors exercises the read API policies depend on, at a
+// known mid-execution state: thread t1 paused while holding one lock and
+// wanting another.
+func TestSchedulerAccessors(t *testing.T) {
+	type snapshot struct {
+		holder    event.TID
+		lockSet   int
+		ctx       event.Context
+		alive     []event.TID
+		enabled   bool
+		steps     int
+		allocated uint64
+	}
+	var snap *snapshot
+	probe := policyFunc(func(s *Scheduler, enabled []event.TID) event.TID {
+		// Inspect t1 when it stands at its inner acquire.
+		if snap == nil {
+			for _, tid := range enabled {
+				req := s.Pending(tid)
+				if req.Kind == event.KindAcquire && req.Loc == "acc:inner" {
+					snap = &snapshot{
+						holder:    s.Holder(s.LockSet(tid)[0]),
+						lockSet:   len(s.LockSet(tid)),
+						ctx:       s.Context(tid).Clone(),
+						alive:     s.AliveTIDs(),
+						enabled:   s.Enabled(tid),
+						steps:     s.Steps(),
+						allocated: s.Allocated(),
+					}
+					if th := s.Thread(tid); th.ID() != tid || th.Name() != "worker" || th.Obj() == nil {
+						t.Errorf("thread accessors: id=%v name=%q obj=%v", th.ID(), th.Name(), th.Obj())
+					}
+				}
+			}
+		}
+		return enabled[s.Rand().Intn(len(enabled))]
+	})
+
+	s := New(Options{Seed: 1, Policy: probe})
+	res := s.Run(func(c *Ctx) {
+		a := c.New("Object", "acc:a")
+		b := c.New("Object", "acc:b")
+		w := c.Spawn("worker", nil, "acc:spawn", func(c *Ctx) {
+			c.Sync(a, "acc:outer", func() {
+				c.Sync(b, "acc:inner", func() {})
+			})
+		})
+		c.Join(w, "acc:join")
+	})
+	if res.Outcome != Completed {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	if snap == nil {
+		t.Fatal("probe never observed the inner acquire")
+	}
+	if snap.lockSet != 1 || !snap.ctx.Equal(event.Context{"acc:outer"}) {
+		t.Errorf("lockSet=%d ctx=%v", snap.lockSet, snap.ctx)
+	}
+	if snap.holder == event.NoThread {
+		t.Error("holder of held lock reported NoThread")
+	}
+	if len(snap.alive) != 2 || !snap.enabled {
+		t.Errorf("alive=%v enabled=%v", snap.alive, snap.enabled)
+	}
+	if snap.steps <= 0 || snap.allocated < 3 {
+		t.Errorf("steps=%d allocated=%d", snap.steps, snap.allocated)
+	}
+}
+
+// policyFunc adapts a function to the Policy interface.
+type policyFunc func(*Scheduler, []event.TID) event.TID
+
+func (f policyFunc) Next(s *Scheduler, enabled []event.TID) event.TID { return f(s, enabled) }
+
+func TestHolderOfUntouchedLock(t *testing.T) {
+	var alloc object.Allocator
+	o := alloc.New("Object", "x:1", nil, nil)
+	s := New(Options{Seed: 1})
+	if got := s.Holder(o); got != event.NoThread {
+		t.Errorf("Holder = %v", got)
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	var alloc object.Allocator
+	o := alloc.New("Object", "x:1", nil, nil)
+	cases := []struct {
+		req  Request
+		want string
+	}{
+		{Request{Kind: event.KindAcquire, Obj: o, Loc: "l:1"}, "Acquire"},
+		{Request{Kind: event.KindRelease, Obj: o, Loc: "l:1"}, "Release"},
+		{Request{Kind: event.KindCall, Method: "m", Loc: "l:2"}, "Call(m)"},
+		{Request{Kind: event.KindReturn, Method: "m", Loc: "l:2"}, "Return(m)"},
+		{Request{Kind: event.KindNew, Type: "T", Loc: "l:3"}, "New(T)"},
+		{Request{Kind: event.KindSpawn, Name: "w", Loc: "l:4"}, "Spawn(w)"},
+		{Request{Kind: event.KindJoin, Target: 3, Loc: "l:5"}, "Join(t3)"},
+		{Request{Kind: event.KindStep, Loc: "l:6"}, "Step@l:6"},
+	}
+	for _, c := range cases {
+		if got := c.req.String(); !strings.Contains(got, c.want) {
+			t.Errorf("String(%v) = %q, want contains %q", c.req.Kind, got, c.want)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	names := map[Outcome]string{
+		Completed: "completed",
+		Deadlock:  "deadlock",
+		Stall:     "stall",
+		StepLimit: "step-limit",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q", int(o), o.String())
+		}
+	}
+	if !strings.Contains(Outcome(42).String(), "42") {
+		t.Error("unknown outcome should include its value")
+	}
+}
+
+func TestDeadlockInfoString(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		s := New(Options{Seed: seed})
+		res := s.Run(fig1(0))
+		if res.Outcome != Deadlock {
+			continue
+		}
+		str := res.Deadlock.String()
+		if !strings.Contains(str, "real deadlock") || !strings.Contains(str, "->") {
+			t.Errorf("String() = %q", str)
+		}
+		return
+	}
+	t.Skip("no deadlocking seed")
+}
+
+func TestLatchAccessors(t *testing.T) {
+	s := New(Options{Seed: 1})
+	res := s.Run(func(c *Ctx) {
+		l := c.NewLatch("la:1")
+		if l.Obj() == nil || l.Set() {
+			t.Error("fresh latch should have an object and be unset")
+		}
+		c.Signal(l, "la:2")
+		if !l.Set() {
+			t.Error("latch not set after signal")
+		}
+		if c.Thread() == nil || c.Scheduler() != s {
+			t.Error("ctx accessors broken")
+		}
+	})
+	if res.Outcome != Completed {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+}

@@ -1,0 +1,40 @@
+package sched
+
+import (
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/object"
+)
+
+// lockState is the runtime state of one monitor. Locks are re-entrant
+// with a usage counter, as in Java: per the paper, only the 0->1
+// transition of the counter is an Acquire event and only the 1->0
+// transition is a Release event; re-acquires and partial releases are
+// invisible to the analyses.
+type lockState struct {
+	obj    *object.Obj
+	holder event.TID // NoThread when free
+	depth  int       // usage counter
+	// waitset holds threads that executed Wait on this monitor and
+	// have not been notified yet, in wait order.
+	waitset []event.TID
+}
+
+func (ls *lockState) free() bool { return ls.holder == event.NoThread }
+
+// Latch is a one-shot broadcast synchronization object used to model
+// condition-style communication (thread start/stop handshakes, Java-style
+// waitForRunner patterns). Await blocks until some thread Signals the
+// latch; Signal never blocks. Latches induce happens-before edges, which
+// is exactly what the Jigsaw false-positive study (paper Section 5.4)
+// needs: lock cycles whose components are ordered by a latch cannot
+// deadlock in a real execution.
+type Latch struct {
+	obj *object.Obj
+	set bool
+}
+
+// Obj returns the latch's identity object.
+func (l *Latch) Obj() *object.Obj { return l.obj }
+
+// Set reports whether the latch has been signaled.
+func (l *Latch) Set() bool { return l.set }

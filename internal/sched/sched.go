@@ -1,0 +1,610 @@
+// Package sched implements the deterministic cooperative scheduler that
+// substitutes for the JVM thread scheduler the paper instruments.
+//
+// Simulated threads run as goroutines in strict lockstep with the
+// scheduler: a thread posts its next observable operation (a Request) and
+// blocks; the scheduler picks one enabled thread per step — delegating
+// the choice to a pluggable Policy — executes its request, and waits for
+// the thread to post again. Exactly one goroutine runs at any instant, so
+// an execution is a pure function of (program, policy, seed). This is
+// what makes the paper's probabilities measurable and its experiments
+// replayable.
+//
+// The scheduler confirms resource deadlocks the way Algorithm 4 does: the
+// moment an Acquire blocks, it checks the wait-for graph for a cycle and,
+// if one exists, ends the run with a DeadlockInfo carrying the full
+// context of every edge.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/waitgraph"
+)
+
+// Policy decides which enabled thread runs next. Implementations receive
+// the scheduler for read access to thread state (pending requests, lock
+// sets, contexts, abstractions) and its seeded RNG.
+//
+// Next must return one of the TIDs in enabled; enabled is non-empty and
+// sorted ascending.
+type Policy interface {
+	Next(s *Scheduler, enabled []event.TID) event.TID
+}
+
+// Ev is one observed dynamic statement, delivered to observers after its
+// effect is applied. LockSet and Context are only populated for Acquire
+// and Release events (cloned snapshots; see field docs).
+type Ev struct {
+	Seq       uint64
+	Kind      event.Kind
+	Thread    event.TID
+	ThreadObj *object.Obj
+	Loc       event.Loc
+	// Obj is the lock (Acquire/Release), the created object (New), the
+	// latch (Await/Signal), or the spawned/joined thread's object
+	// (Spawn/Join).
+	Obj    *object.Obj
+	Method string
+	Target event.TID
+	// LockSet is, for Acquire, the set of locks held *before* the
+	// acquire (the paper's L), and for Release the set held after.
+	LockSet []*object.Obj
+	// Context is, for Acquire, the acquire-site stack *including* the
+	// current site (the paper's C).
+	Context event.Context
+}
+
+// Observer receives every event of an execution, in order. Observers run
+// on the scheduler goroutine and may not call back into the scheduler.
+type Observer interface {
+	OnEvent(ev Ev)
+}
+
+// Options configures an execution.
+type Options struct {
+	// Seed seeds the scheduler's RNG (shared with the policy).
+	Seed int64
+	// MaxSteps bounds the number of scheduling decisions; 0 means the
+	// default of 1,000,000.
+	MaxSteps int
+	// Policy chooses threads; nil means uniform random (Algorithm 2).
+	Policy Policy
+	// Observers receive the event stream.
+	Observers []Observer
+}
+
+const defaultMaxSteps = 1_000_000
+
+// Scheduler runs one execution of a simulated concurrent program.
+type Scheduler struct {
+	opts    Options
+	rng     *rand.Rand
+	policy  Policy
+	alloc   object.Allocator
+	threads []*Thread
+	latches map[uint64]*Latch
+	locks   map[uint64]*lockState
+
+	steps    int
+	seq      uint64
+	deadlock *DeadlockInfo
+	panicVal any
+}
+
+// New returns a scheduler configured by opts.
+func New(opts Options) *Scheduler {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = defaultMaxSteps
+	}
+	s := &Scheduler{
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		policy:  opts.Policy,
+		latches: make(map[uint64]*Latch),
+		locks:   make(map[uint64]*lockState),
+	}
+	if s.policy == nil {
+		s.policy = RandomPolicy{}
+	}
+	return s
+}
+
+// Rand returns the execution's RNG. Policies draw from it so that one
+// seed determines the whole schedule.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of scheduling decisions taken so far.
+func (s *Scheduler) Steps() int { return s.steps }
+
+// Thread returns the thread with the given id.
+func (s *Scheduler) Thread(t event.TID) *Thread { return s.threads[t] }
+
+// Pending returns thread t's posted request.
+func (s *Scheduler) Pending(t event.TID) Request { return s.threads[t].pending }
+
+// LockSet returns the locks currently held by t, outermost first.
+// The returned slice is the live stack; callers must not modify it.
+func (s *Scheduler) LockSet(t event.TID) []*object.Obj { return s.threads[t].lockStack }
+
+// Context returns t's acquire-site stack, outermost first. The returned
+// slice is the live stack; callers must not modify it.
+func (s *Scheduler) Context(t event.TID) event.Context { return s.threads[t].ctxStack }
+
+// Holder returns the thread currently holding the monitor of o, or
+// NoThread when it is free.
+func (s *Scheduler) Holder(o *object.Obj) event.TID {
+	if ls, ok := s.locks[o.ID]; ok {
+		return ls.holder
+	}
+	return event.NoThread
+}
+
+// Allocated returns the number of objects allocated so far.
+func (s *Scheduler) Allocated() uint64 { return s.alloc.Count() }
+
+// lock returns (creating on demand) the monitor state for o.
+func (s *Scheduler) lock(o *object.Obj) *lockState {
+	ls, ok := s.locks[o.ID]
+	if !ok {
+		ls = &lockState{obj: o, holder: event.NoThread}
+		s.locks[o.ID] = ls
+	}
+	return ls
+}
+
+// newThread registers a thread structure (without starting its goroutine).
+func (s *Scheduler) newThread(name string, obj *object.Obj, body func(*Ctx)) *Thread {
+	t := &Thread{
+		id:      event.TID(len(s.threads)),
+		name:    name,
+		obj:     obj,
+		sched:   s,
+		resume:  make(chan bool),
+		posted:  make(chan struct{}),
+		done:    make(chan struct{}),
+		alive:   true,
+		indexer: object.NewIndexer(),
+	}
+	s.threads = append(s.threads, t)
+	// Launch the goroutine and run it to its first scheduling point.
+	// Only this goroutine runs until it posts, so determinism holds.
+	t.started = true
+	go func() {
+		defer close(t.done)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortPanic); ok {
+					return
+				}
+				// Propagate user panics to Run via the scheduler.
+				t.pending = Request{Kind: event.KindExit}
+				s.panicVal = r
+				t.posted <- struct{}{}
+				return
+			}
+		}()
+		body(&Ctx{t: t})
+		t.pending = Request{Kind: event.KindExit}
+		t.posted <- struct{}{}
+	}()
+	<-t.posted
+	return t
+}
+
+// Run executes main as the initial thread and returns the result.
+// It panics if a thread body panicked.
+func (s *Scheduler) Run(main func(*Ctx)) *Result {
+	mainObj := s.alloc.New("Thread", "main", nil, []object.IndexEntry{{Loc: "main", Count: 1}})
+	s.newThread("main", mainObj, main)
+
+	outcome := Completed
+	for {
+		if s.panicVal != nil {
+			break
+		}
+		if s.steps >= s.opts.MaxSteps {
+			outcome = StepLimit
+			break
+		}
+		enabled := s.enabled()
+		if len(enabled) == 0 {
+			if s.aliveCount() == 0 {
+				outcome = Completed
+			} else if dl := s.findDeadlock(); dl != nil {
+				s.deadlock = dl
+				outcome = Deadlock
+			} else {
+				outcome = Stall
+			}
+			break
+		}
+		s.steps++
+		tid := s.policy.Next(s, enabled)
+		s.execute(s.threads[tid])
+		if s.deadlock != nil {
+			outcome = Deadlock
+			break
+		}
+	}
+
+	s.teardown()
+	if s.panicVal != nil {
+		panic(s.panicVal)
+	}
+	return &Result{
+		Outcome:   outcome,
+		Deadlock:  s.deadlock,
+		Steps:     s.steps,
+		Events:    s.seq,
+		Spawned:   len(s.threads),
+		Allocated: s.alloc.Count(),
+	}
+}
+
+// teardown aborts every still-blocked thread goroutine and waits for all
+// goroutines to exit, so repeated executions never leak.
+func (s *Scheduler) teardown() {
+	for _, t := range s.threads {
+		if t.alive && t.pending.Kind != event.KindExit {
+			t.resume <- false
+		}
+		<-t.done
+	}
+}
+
+// AliveTIDs returns the ids of all non-terminated threads in ascending
+// order. Policies use it to inspect blocked threads, which never appear
+// in the enabled set.
+func (s *Scheduler) AliveTIDs() []event.TID {
+	var out []event.TID
+	for _, t := range s.threads {
+		if t.alive {
+			out = append(out, t.id)
+		}
+	}
+	return out
+}
+
+// aliveCount returns how many threads have not terminated.
+func (s *Scheduler) aliveCount() int {
+	n := 0
+	for _, t := range s.threads {
+		if t.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Enabled reports whether thread t's pending request is executable now.
+func (s *Scheduler) Enabled(t event.TID) bool {
+	return s.threads[t].alive && s.executable(s.threads[t])
+}
+
+// enabled returns the executable threads in ascending TID order.
+func (s *Scheduler) enabled() []event.TID {
+	var out []event.TID
+	for _, t := range s.threads {
+		if t.alive && s.executable(t) {
+			out = append(out, t.id)
+		}
+	}
+	return out
+}
+
+// executable reports whether t's pending request can run immediately.
+func (s *Scheduler) executable(t *Thread) bool {
+	r := t.pending
+	switch r.Kind {
+	case event.KindAcquire:
+		if r.WaitResume && !t.notified {
+			return false
+		}
+		ls, ok := s.locks[r.Obj.ID]
+		return !ok || ls.free() || ls.holder == t.id
+	case event.KindJoin:
+		return !s.threads[r.Target].alive
+	case event.KindAwait:
+		return s.latches[r.Obj.ID].set
+	case event.KindExit:
+		return false
+	default:
+		return true
+	}
+}
+
+// emit delivers an event to every observer.
+func (s *Scheduler) emit(ev Ev) {
+	s.seq++
+	ev.Seq = s.seq
+	for _, o := range s.opts.Observers {
+		o.OnEvent(ev)
+	}
+}
+
+// snapshotLocks clones t's lock stack for an event, but only when someone
+// is listening.
+func (s *Scheduler) snapshotLocks(t *Thread) []*object.Obj {
+	if len(s.opts.Observers) == 0 {
+		return nil
+	}
+	out := make([]*object.Obj, len(t.lockStack))
+	copy(out, t.lockStack)
+	return out
+}
+
+// snapshotContext clones t's context stack for an event.
+func (s *Scheduler) snapshotContext(t *Thread) event.Context {
+	if len(s.opts.Observers) == 0 {
+		return nil
+	}
+	return t.ctxStack.Clone()
+}
+
+// execute applies t's pending request, resumes t, and waits for its next
+// post. The caller guarantees the request is executable.
+func (s *Scheduler) execute(t *Thread) {
+	r := t.pending
+	base := Ev{Kind: r.Kind, Thread: t.id, ThreadObj: t.obj, Loc: r.Loc}
+
+	switch r.Kind {
+	case event.KindAcquire:
+		ls := s.lock(r.Obj)
+		if ls.holder == t.id {
+			ls.depth++ // re-acquire: invisible to the analyses
+		} else {
+			ls.holder = t.id
+			ls.depth = 1
+			site := r.Loc
+			if r.WaitResume {
+				// Returning from wait restores the monitor exactly as
+				// it was: previous depth, original acquire site.
+				ls.depth = t.waitDepth
+				t.notified = false
+				site = t.waitLoc
+			}
+			held := s.snapshotLocks(t)
+			t.ctxStack = append(t.ctxStack, site)
+			t.lockStack = append(t.lockStack, r.Obj)
+			ev := base
+			ev.Obj = r.Obj
+			ev.LockSet = held
+			ev.Context = s.snapshotContext(t)
+			s.emit(ev)
+		}
+
+	case event.KindWait:
+		ls, ok := s.locks[r.Obj.ID]
+		if !ok || ls.holder != t.id {
+			s.panicVal = fmt.Errorf("sched: %s waits on %s it does not hold at %s", t.id, r.Obj, r.Loc)
+			return
+		}
+		// Release the monitor in full, remembering the depth and the
+		// original acquire site for the resume.
+		t.waitDepth = ls.depth
+		t.notified = false
+		ls.depth = 0
+		ls.holder = event.NoThread
+		ls.waitset = append(ls.waitset, t.id)
+		n := len(t.lockStack) - 1
+		if n < 0 || t.lockStack[n].ID != r.Obj.ID {
+			s.panicVal = fmt.Errorf("sched: %s waits on %s out of nesting order at %s", t.id, r.Obj, r.Loc)
+			return
+		}
+		t.waitLoc = t.ctxStack[n]
+		t.lockStack = t.lockStack[:n]
+		t.ctxStack = t.ctxStack[:n]
+		ev := base
+		ev.Obj = r.Obj
+		ev.LockSet = s.snapshotLocks(t)
+		s.emit(ev)
+
+	case event.KindNotify:
+		ls, ok := s.locks[r.Obj.ID]
+		if !ok || ls.holder != t.id {
+			s.panicVal = fmt.Errorf("sched: %s notifies %s it does not hold at %s", t.id, r.Obj, r.Loc)
+			return
+		}
+		woken := s.wake(ls, r.All)
+		for _, w := range woken {
+			ev := base
+			ev.Obj = r.Obj
+			ev.Target = w
+			s.emit(ev)
+		}
+		if len(woken) == 0 {
+			ev := base
+			ev.Obj = r.Obj
+			ev.Target = event.NoThread
+			s.emit(ev)
+		}
+
+	case event.KindRelease:
+		ls, ok := s.locks[r.Obj.ID]
+		if !ok || ls.holder != t.id {
+			s.panicVal = fmt.Errorf("sched: %s releases %s it does not hold at %s", t.id, r.Obj, r.Loc)
+			return
+		}
+		ls.depth--
+		if ls.depth == 0 {
+			ls.holder = event.NoThread
+			n := len(t.lockStack) - 1
+			if n < 0 || t.lockStack[n].ID != r.Obj.ID {
+				s.panicVal = fmt.Errorf("sched: %s releases %s out of nesting order at %s", t.id, r.Obj, r.Loc)
+				return
+			}
+			t.lockStack = t.lockStack[:n]
+			t.ctxStack = t.ctxStack[:n]
+			ev := base
+			ev.Obj = r.Obj
+			ev.LockSet = s.snapshotLocks(t)
+			s.emit(ev)
+		}
+
+	case event.KindCall:
+		t.thisStack = append(t.thisStack, r.Recv)
+		t.indexer.Call(r.Loc)
+		ev := base
+		ev.Method = r.Method
+		ev.Obj = r.Recv
+		s.emit(ev)
+
+	case event.KindReturn:
+		if n := len(t.thisStack); n > 0 {
+			t.thisStack = t.thisStack[:n-1]
+		}
+		t.indexer.Return()
+		ev := base
+		ev.Method = r.Method
+		s.emit(ev)
+
+	case event.KindNew:
+		idx := t.indexer.Snapshot(r.Loc)
+		obj := s.alloc.New(r.Type, r.Loc, t.this(), idx)
+		t.retObj = obj
+		ev := base
+		ev.Obj = obj
+		s.emit(ev)
+
+	case event.KindSpawn:
+		tobj := r.ThreadObj
+		if tobj == nil {
+			idx := t.indexer.Snapshot(r.Loc)
+			tobj = s.alloc.New("Thread", r.Loc, t.this(), idx)
+		}
+		child := s.newThread(r.Name, tobj, r.Body)
+		t.retThread = child
+		ev := base
+		ev.Obj = tobj
+		ev.Target = child.id
+		s.emit(ev)
+
+	case event.KindJoin:
+		ev := base
+		ev.Target = r.Target
+		ev.Obj = s.threads[r.Target].obj
+		s.emit(ev)
+
+	case event.KindAwait, event.KindSignal:
+		l := s.latches[r.Obj.ID]
+		if r.Kind == event.KindSignal {
+			l.set = true
+		}
+		ev := base
+		ev.Obj = r.Obj
+		s.emit(ev)
+
+	case event.KindStep, event.KindYield:
+		s.emit(base)
+
+	default:
+		s.panicVal = fmt.Errorf("sched: unexpected request %v", r)
+		return
+	}
+
+	t.resume <- true
+	<-t.posted
+	if t.pending.Kind == event.KindExit {
+		t.alive = false
+		s.emit(Ev{Kind: event.KindExit, Thread: t.id, ThreadObj: t.obj})
+	} else if t.pending.Kind == event.KindAcquire {
+		// checkRealDeadlock (Algorithm 4): the moment a thread wants a
+		// lock, see whether the wait-for graph now has a cycle.
+		if dl := s.cycleThrough(t); dl != nil {
+			s.deadlock = dl
+		}
+	}
+}
+
+// wake notifies one (or all) of ls's waiters and returns the woken
+// thread ids. The single-notify choice is drawn from the seeded RNG,
+// mirroring the JVM's arbitrary selection deterministically.
+func (s *Scheduler) wake(ls *lockState, all bool) []event.TID {
+	if len(ls.waitset) == 0 {
+		return nil
+	}
+	var woken []event.TID
+	if all {
+		woken = append(woken, ls.waitset...)
+		ls.waitset = nil
+	} else {
+		i := s.rng.Intn(len(ls.waitset))
+		woken = append(woken, ls.waitset[i])
+		ls.waitset = append(ls.waitset[:i], ls.waitset[i+1:]...)
+	}
+	for _, w := range woken {
+		s.threads[w].notified = true
+	}
+	return woken
+}
+
+// buildWaitGraph constructs the wait-for graph over currently blocked
+// threads (alive, pending Acquire on a lock held by someone else).
+func (s *Scheduler) buildWaitGraph() *waitgraph.Graph {
+	g := waitgraph.New()
+	for _, t := range s.threads {
+		if !t.alive || t.pending.Kind != event.KindAcquire {
+			continue
+		}
+		ls, ok := s.locks[t.pending.Obj.ID]
+		if !ok || ls.free() || ls.holder == t.id {
+			continue
+		}
+		g.Wait(t.id, ls.holder)
+	}
+	return g
+}
+
+// cycleThrough reports a deadlock cycle that passes through t, if t's new
+// wait edge closes one.
+func (s *Scheduler) cycleThrough(t *Thread) *DeadlockInfo {
+	g := s.buildWaitGraph()
+	cyc := g.CycleFrom(t.id)
+	if cyc == nil {
+		return nil
+	}
+	return s.describeCycle(cyc)
+}
+
+// findDeadlock looks for any wait-for cycle in a stalled state.
+func (s *Scheduler) findDeadlock() *DeadlockInfo {
+	cycles := s.buildWaitGraph().Cycles()
+	if len(cycles) == 0 {
+		return nil
+	}
+	return s.describeCycle(cycles[0])
+}
+
+// describeCycle fills in the DeadlockInfo for a TID cycle.
+func (s *Scheduler) describeCycle(cyc []event.TID) *DeadlockInfo {
+	info := &DeadlockInfo{Step: s.steps}
+	for _, tid := range cyc {
+		t := s.threads[tid]
+		held := make([]*object.Obj, len(t.lockStack))
+		copy(held, t.lockStack)
+		ctx := t.ctxStack.Clone()
+		ctx = append(ctx, t.pending.Loc)
+		info.Edges = append(info.Edges, DeadlockEdge{
+			Thread:    tid,
+			ThreadObj: t.obj,
+			Want:      t.pending.Obj,
+			WantLoc:   t.pending.Loc,
+			Held:      held,
+			Context:   ctx,
+		})
+	}
+	return info
+}
+
+// RandomPolicy is the paper's Algorithm 2: pick a uniformly random
+// enabled thread at every step.
+type RandomPolicy struct{}
+
+// Next picks uniformly from enabled.
+func (RandomPolicy) Next(s *Scheduler, enabled []event.TID) event.TID {
+	return enabled[s.Rand().Intn(len(enabled))]
+}

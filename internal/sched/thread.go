@@ -1,0 +1,197 @@
+package sched
+
+import (
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/object"
+)
+
+// abortPanic is thrown into thread goroutines when the scheduler tears
+// down an unfinished execution (deadlock, stall, step limit) so they
+// unwind and exit instead of leaking.
+type abortPanic struct{}
+
+// Thread is one simulated thread. All fields are owned by the scheduler
+// goroutine; the thread goroutine only touches them inside post(), which
+// is serialized with the scheduler by the handshake channels.
+type Thread struct {
+	id    event.TID
+	name  string
+	obj   *object.Obj // the thread object, carries the abstractions
+	sched *Scheduler
+
+	resume chan bool     // scheduler -> thread: true = proceed, false = abort
+	posted chan struct{} // thread -> scheduler: pending request is ready
+	done   chan struct{} // closed when the goroutine exits
+
+	pending Request
+	alive   bool
+	started bool // goroutine launched
+	aborted bool // teardown told this thread to unwind
+
+	// Return values for requests that produce results (New, Spawn).
+	retObj    *object.Obj
+	retThread *Thread
+
+	// Dynamic state maintained by the scheduler as the thread executes,
+	// mirroring the paper's LockSet[t] and Context[t] stacks.
+	lockStack []*object.Obj
+	ctxStack  event.Context
+	thisStack []*object.Obj // receiver objects of open calls
+	indexer   *object.Indexer
+
+	// Monitor-wait state: notified is set by Notify; waitDepth and
+	// waitLoc remember the released re-entrancy depth and the original
+	// acquire site to restore on resume.
+	notified  bool
+	waitDepth int
+	waitLoc   event.Loc
+}
+
+// ID returns the thread's unique id for this execution.
+func (t *Thread) ID() event.TID { return t.id }
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Obj returns the thread object (used for abstraction).
+func (t *Thread) Obj() *object.Obj { return t.obj }
+
+// this returns the receiver of the innermost open call, or nil.
+func (t *Thread) this() *object.Obj {
+	if len(t.thisStack) == 0 {
+		return nil
+	}
+	return t.thisStack[len(t.thisStack)-1]
+}
+
+// post hands the pending request to the scheduler and blocks until the
+// scheduler executes it. It panics with abortPanic when the scheduler is
+// tearing down — including on re-entry from deferred cleanup (e.g. the
+// Release deferred by Sync) while an abort is already unwinding.
+func (t *Thread) post(r Request) {
+	if t.aborted {
+		panic(abortPanic{})
+	}
+	t.pending = r
+	t.posted <- struct{}{}
+	if !<-t.resume {
+		t.aborted = true
+		panic(abortPanic{})
+	}
+}
+
+// Ctx is the API a simulated thread's body uses to perform observable
+// operations. Every method is a scheduling point.
+type Ctx struct {
+	t *Thread
+}
+
+// Thread returns the thread executing this context.
+func (c *Ctx) Thread() *Thread { return c.t }
+
+// Scheduler returns the owning scheduler.
+func (c *Ctx) Scheduler() *Scheduler { return c.t.sched }
+
+// New allocates an object of the given type at site. The creating object
+// (for k-object-sensitivity) is the receiver of the innermost open call.
+func (c *Ctx) New(typ string, site event.Loc) *object.Obj {
+	c.t.post(Request{Kind: event.KindNew, Type: typ, Loc: site})
+	return c.t.retObj
+}
+
+// Acquire acquires the monitor of o at site, blocking while another
+// thread holds it. Re-entrant.
+func (c *Ctx) Acquire(o *object.Obj, site event.Loc) {
+	c.t.post(Request{Kind: event.KindAcquire, Obj: o, Loc: site})
+}
+
+// Release releases one level of the monitor of o at site.
+func (c *Ctx) Release(o *object.Obj, site event.Loc) {
+	c.t.post(Request{Kind: event.KindRelease, Obj: o, Loc: site})
+}
+
+// Sync runs body while holding the monitor of o, like a Java
+// synchronized(o){...} block whose opening brace is at site.
+func (c *Ctx) Sync(o *object.Obj, site event.Loc, body func()) {
+	c.Acquire(o, site)
+	defer c.Release(o, site)
+	body()
+}
+
+// Call runs body as a method invocation: `site: Call(name)` on entry and
+// a matching Return on exit. recv is the callee's receiver (nil for
+// static methods); it becomes the creator of objects body allocates.
+func (c *Ctx) Call(name string, recv *object.Obj, site event.Loc, body func()) {
+	c.t.post(Request{Kind: event.KindCall, Method: name, Recv: recv, Loc: site})
+	defer c.t.post(Request{Kind: event.KindReturn, Method: name, Loc: site})
+	body()
+}
+
+// Spawn creates and starts a new thread running body. tobj is the thread
+// object; pass nil to allocate one implicitly at site. The child begins
+// executing (up to its first scheduling point) before Spawn returns, and
+// further interleaving is up to the scheduling policy.
+func (c *Ctx) Spawn(name string, tobj *object.Obj, site event.Loc, body func(*Ctx)) *Thread {
+	c.t.post(Request{Kind: event.KindSpawn, Name: name, ThreadObj: tobj, Body: body, Loc: site})
+	return c.t.retThread
+}
+
+// Join blocks until t terminates.
+func (c *Ctx) Join(t *Thread, site event.Loc) {
+	c.t.post(Request{Kind: event.KindJoin, Target: t.id, Loc: site})
+}
+
+// Step executes one ordinary (non-synchronization) statement at site.
+func (c *Ctx) Step(site event.Loc) {
+	c.t.post(Request{Kind: event.KindStep, Loc: site})
+}
+
+// Work executes n ordinary statements at site; it models the paper's
+// "long running methods" that skew naive random schedules away from the
+// deadlock window.
+func (c *Ctx) Work(n int, site event.Loc) {
+	for i := 0; i < n; i++ {
+		c.Step(site)
+	}
+}
+
+// NewLatch allocates a fresh latch at site.
+func (c *Ctx) NewLatch(site event.Loc) *Latch {
+	obj := c.New("Latch", site)
+	l := &Latch{obj: obj}
+	c.t.sched.latches[obj.ID] = l
+	return l
+}
+
+// Await blocks until l has been signaled.
+func (c *Ctx) Await(l *Latch, site event.Loc) {
+	c.t.post(Request{Kind: event.KindAwait, Obj: l.obj, Loc: site})
+}
+
+// Signal sets l, waking every thread awaiting it. Signaling an already
+// set latch is a no-op.
+func (c *Ctx) Signal(l *Latch, site event.Loc) {
+	c.t.post(Request{Kind: event.KindSignal, Obj: l.obj, Loc: site})
+}
+
+// Wait is Java's Object.wait: the caller must hold o's monitor; the
+// monitor is released in full, the thread blocks until another thread
+// calls Notify/NotifyAll on o, and the monitor is re-acquired (at its
+// previous re-entrancy depth) before Wait returns. The re-acquisition
+// is an ordinary lock wait and can participate in deadlocks.
+func (c *Ctx) Wait(o *object.Obj, site event.Loc) {
+	c.t.post(Request{Kind: event.KindWait, Obj: o, Loc: site})
+	c.t.post(Request{Kind: event.KindAcquire, Obj: o, Loc: site, WaitResume: true})
+}
+
+// Notify wakes one thread waiting on o's monitor (the scheduler picks
+// which, seeded-randomly, mirroring the JVM's arbitrary choice). The
+// caller must hold the monitor. No-op if nobody waits.
+func (c *Ctx) Notify(o *object.Obj, site event.Loc) {
+	c.t.post(Request{Kind: event.KindNotify, Obj: o, Loc: site})
+}
+
+// NotifyAll wakes every thread waiting on o's monitor.
+func (c *Ctx) NotifyAll(o *object.Obj, site event.Loc) {
+	c.t.post(Request{Kind: event.KindNotify, Obj: o, Loc: site, All: true})
+}

@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"testing"
+
+	"dlfuzz/internal/event"
+)
+
+func TestWaitNotifyHandshake(t *testing.T) {
+	var order []string
+	s := New(Options{Seed: 5})
+	res := s.Run(func(c *Ctx) {
+		mon := c.New("Object", "wn:1")
+		ready := false
+		worker := c.Spawn("worker", nil, "wn:2", func(c *Ctx) {
+			c.Acquire(mon, "wn:3")
+			for !ready {
+				order = append(order, "worker-waits")
+				c.Wait(mon, "wn:4")
+			}
+			order = append(order, "worker-proceeds")
+			c.Release(mon, "wn:3")
+		})
+		c.Work(5, "wn:5")
+		c.Acquire(mon, "wn:6")
+		ready = true
+		c.Notify(mon, "wn:7")
+		order = append(order, "main-notified")
+		c.Release(mon, "wn:6")
+		c.Join(worker, "wn:8")
+	})
+	if res.Outcome != Completed {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	// The worker must proceed only after the notify, and the waiting
+	// worker must not hold the monitor while main sets ready.
+	last := order[len(order)-1]
+	if last != "worker-proceeds" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestWaitReleasesMonitorInFull(t *testing.T) {
+	s := New(Options{Seed: 2})
+	res := s.Run(func(c *Ctx) {
+		mon := c.New("Object", "wr:1")
+		done := false
+		worker := c.Spawn("worker", nil, "wr:2", func(c *Ctx) {
+			c.Acquire(mon, "wr:3")
+			c.Acquire(mon, "wr:3b") // re-entrant: depth 2
+			if !done {
+				c.Wait(mon, "wr:4") // must release both levels
+			}
+			c.Release(mon, "wr:3b")
+			c.Release(mon, "wr:3")
+		})
+		c.Work(5, "wr:5")
+		// If wait released only one level, this acquire would block
+		// forever and the run would stall.
+		c.Acquire(mon, "wr:6")
+		done = true
+		c.NotifyAll(mon, "wr:7")
+		c.Release(mon, "wr:6")
+		c.Join(worker, "wr:8")
+	})
+	if res.Outcome != Completed {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+}
+
+func TestWaitWithoutNotifyStalls(t *testing.T) {
+	s := New(Options{Seed: 1})
+	res := s.Run(func(c *Ctx) {
+		mon := c.New("Object", "ws:1")
+		c.Acquire(mon, "ws:2")
+		c.Wait(mon, "ws:3")
+	})
+	if res.Outcome != Stall {
+		t.Fatalf("lost wakeup should stall, got %v", res.Outcome)
+	}
+}
+
+func TestNotifyAllWakesEveryWaiter(t *testing.T) {
+	s := New(Options{Seed: 9})
+	woke := 0
+	res := s.Run(func(c *Ctx) {
+		mon := c.New("Object", "na:1")
+		var ts []*Thread
+		for i := 0; i < 3; i++ {
+			ts = append(ts, c.Spawn("w", nil, "na:2", func(c *Ctx) {
+				c.Acquire(mon, "na:3")
+				c.Wait(mon, "na:4")
+				woke++
+				c.Release(mon, "na:3")
+			}))
+		}
+		c.Work(10, "na:5")
+		c.Acquire(mon, "na:6")
+		c.NotifyAll(mon, "na:7")
+		c.Release(mon, "na:6")
+		for _, th := range ts {
+			c.Join(th, "na:8")
+		}
+	})
+	if res.Outcome != Completed || woke != 3 {
+		t.Fatalf("outcome %v, woke %d", res.Outcome, woke)
+	}
+}
+
+func TestNotifyWakesExactlyOne(t *testing.T) {
+	// One notify, two waiters: the second waiter stays blocked and the
+	// run stalls at the final join.
+	s := New(Options{Seed: 4})
+	res := s.Run(func(c *Ctx) {
+		mon := c.New("Object", "n1:1")
+		for i := 0; i < 2; i++ {
+			c.Spawn("w", nil, "n1:2", func(c *Ctx) {
+				c.Acquire(mon, "n1:3")
+				c.Wait(mon, "n1:4")
+				c.Release(mon, "n1:3")
+			})
+		}
+		c.Work(10, "n1:5")
+		c.Acquire(mon, "n1:6")
+		c.Notify(mon, "n1:7")
+		c.Release(mon, "n1:6")
+	})
+	// Main exits; one waiter wakes and exits; the other waits forever.
+	if res.Outcome != Stall {
+		t.Fatalf("outcome %v, want stall (one un-notified waiter)", res.Outcome)
+	}
+}
+
+func TestWaitWithoutHoldingFails(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected scheduler error")
+		}
+	}()
+	s := New(Options{Seed: 1})
+	s.Run(func(c *Ctx) {
+		mon := c.New("Object", "x:1")
+		c.Wait(mon, "x:2")
+	})
+}
+
+func TestNotifyWithoutHoldingFails(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected scheduler error")
+		}
+	}()
+	s := New(Options{Seed: 1})
+	s.Run(func(c *Ctx) {
+		mon := c.New("Object", "x:1")
+		c.Notify(mon, "x:2")
+	})
+}
+
+func TestWaitResumeRestoresContext(t *testing.T) {
+	// After wait returns, the thread's lock set and context must look
+	// exactly as before the wait (original acquire site).
+	events := &collector{}
+	s := New(Options{Seed: 3, Observers: []Observer{events}})
+	res := s.Run(func(c *Ctx) {
+		mon := c.New("Object", "rc:1")
+		inner := c.New("Object", "rc:2")
+		worker := c.Spawn("w", nil, "rc:3", func(c *Ctx) {
+			c.Acquire(mon, "rc:orig")
+			c.Wait(mon, "rc:wait")
+			// Nested acquire after resume: its event's context must
+			// show the *original* acquire site, not the wait site.
+			c.Sync(inner, "rc:5", func() {})
+			c.Release(mon, "rc:orig")
+		})
+		c.Work(5, "rc:6")
+		c.Acquire(mon, "rc:7")
+		c.Notify(mon, "rc:8")
+		c.Release(mon, "rc:7")
+		c.Join(worker, "rc:9")
+	})
+	if res.Outcome != Completed {
+		t.Fatalf("outcome %v", res.Outcome)
+	}
+	for _, e := range events.evs {
+		if e.Kind == event.KindAcquire && e.Loc == "rc:5" {
+			want := event.Context{"rc:orig", "rc:5"}
+			if !e.Context.Equal(want) {
+				t.Errorf("post-resume context = %v, want %v", e.Context, want)
+			}
+			return
+		}
+	}
+	t.Fatal("nested acquire not observed")
+}
+
+func TestWaitDeterministicNotifyChoice(t *testing.T) {
+	run := func(seed int64) Outcome {
+		s := New(Options{Seed: seed})
+		return s.Run(func(c *Ctx) {
+			mon := c.New("Object", "d:1")
+			for i := 0; i < 2; i++ {
+				c.Spawn("w", nil, "d:2", func(c *Ctx) {
+					c.Acquire(mon, "d:3")
+					c.Wait(mon, "d:4")
+					c.Release(mon, "d:3")
+				})
+			}
+			c.Work(10, "d:5")
+			c.Acquire(mon, "d:6")
+			c.Notify(mon, "d:7")
+			c.Release(mon, "d:6")
+		}).Outcome
+	}
+	for seed := int64(0); seed < 5; seed++ {
+		if run(seed) != run(seed) {
+			t.Fatalf("seed %d nondeterministic", seed)
+		}
+	}
+}
+
+func TestReleaseOutOfNestingOrderFails(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected scheduler error")
+		}
+	}()
+	s := New(Options{Seed: 1})
+	s.Run(func(c *Ctx) {
+		a := c.New("Object", "n:1")
+		b := c.New("Object", "n:2")
+		c.Acquire(a, "n:3")
+		c.Acquire(b, "n:4")
+		c.Release(a, "n:5") // violates block nesting
+	})
+}
+
+func TestExitEventEmitted(t *testing.T) {
+	events := &collector{}
+	s := New(Options{Seed: 1, Observers: []Observer{events}})
+	s.Run(func(c *Ctx) {
+		w := c.Spawn("w", nil, "e:1", func(c *Ctx) { c.Step("e:2") })
+		c.Join(w, "e:3")
+	})
+	exits := 0
+	for _, e := range events.evs {
+		if e.Kind == event.KindExit {
+			exits++
+		}
+	}
+	if exits != 2 { // worker + main
+		t.Errorf("exit events = %d, want 2", exits)
+	}
+}

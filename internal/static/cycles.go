@@ -1,0 +1,94 @@
+package static
+
+import "sort"
+
+// maxCycleLen bounds cycle enumeration; lock-order cycles beyond four
+// sites are practically unheard of, and the bound keeps the search
+// polynomial on dense graphs.
+const maxCycleLen = 4
+
+// findCycles enumerates simple cycles in the site graph, shortest first,
+// each reported once in canonical rotation (smallest site leading).
+// A self-loop — site lockable while a lock from the same site is held —
+// is a length-1 cycle: two distinct objects from that site can be taken
+// in opposite orders (the synchronizedList pattern).
+func findCycles(edges []Edge) []Cycle {
+	succ := map[Site][]Edge{}
+	for _, e := range edges {
+		succ[e.Outer] = append(succ[e.Outer], e)
+	}
+	var nodes []Site
+	for n := range succ {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	seen := map[string]bool{}
+	var cycles []Cycle
+
+	var dfs func(start Site, cur Site, path []Edge)
+	dfs = func(start, cur Site, path []Edge) {
+		for _, e := range succ[cur] {
+			switch {
+			case e.Inner == start:
+				c := canonical(append(append([]Edge(nil), path...), e))
+				k := cycleKey(c)
+				if !seen[k] {
+					seen[k] = true
+					cycles = append(cycles, c)
+				}
+			case len(path)+1 < maxCycleLen:
+				// Keep the walk simple: no revisits, and only visit
+				// sites >= start so each cycle is found from its
+				// smallest node.
+				if e.Inner < start || onPath(path, e.Inner) || e.Inner == cur {
+					continue
+				}
+				dfs(start, e.Inner, append(path, e))
+			}
+		}
+	}
+	for _, n := range nodes {
+		dfs(n, n, nil)
+	}
+	sort.SliceStable(cycles, func(i, j int) bool {
+		if len(cycles[i].Sites) != len(cycles[j].Sites) {
+			return len(cycles[i].Sites) < len(cycles[j].Sites)
+		}
+		return cycleKey(cycles[i]) < cycleKey(cycles[j])
+	})
+	return cycles
+}
+
+// onPath reports whether site occurs as an edge target on the path.
+func onPath(path []Edge, site Site) bool {
+	for _, e := range path {
+		if e.Inner == site {
+			return true
+		}
+	}
+	return false
+}
+
+// canonical builds the Cycle value with its site list.
+func canonical(edges []Edge) Cycle {
+	c := Cycle{Edges: edges}
+	for _, e := range edges {
+		c.Sites = append(c.Sites, e.Outer)
+	}
+	return c
+}
+
+// cycleKey identifies a cycle up to its edge set.
+func cycleKey(c Cycle) string {
+	parts := make([]string, len(c.Edges))
+	for i, e := range c.Edges {
+		parts[i] = e.String()
+	}
+	sort.Strings(parts)
+	out := ""
+	for _, p := range parts {
+		out += p + ";"
+	}
+	return out
+}

@@ -1,0 +1,441 @@
+// Package static implements a static deadlock detector for CLF programs
+// in the style the paper compares against (Williams et al., RacerX): a
+// flow-insensitive points-to analysis maps lock expressions to
+// allocation sites, an interprocedural walk builds a lock-order graph
+// over sites, and cycles in that graph are reported as potential
+// deadlocks.
+//
+// The point of carrying this analysis in the repository is the paper's
+// motivating comparison: static detectors are sound-ish but drown the
+// user in false positives (100,000 reports on JDK, 7 real), because they
+// see neither thread identity, nor happens-before, nor feasible paths.
+// This one is deliberately faithful to that trade-off — it reports a
+// cycle whenever two allocation sites can be locked in both orders by
+// *anyone*, even a single thread, even under a start-ordering guard —
+// so running it next to DeadlockFuzzer on the same CLF program shows
+// exactly why the two-phase dynamic technique exists.
+package static
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dlfuzz/internal/lang"
+)
+
+// Site is a static lock identity: the label of an allocation site.
+type Site string
+
+// Edge is one lock-order fact: some execution path may hold a lock
+// allocated at Outer while acquiring a lock allocated at Inner.
+type Edge struct {
+	Outer, Inner Site
+	// OuterAt and InnerAt are the sync statements inducing the order.
+	OuterAt, InnerAt lang.Pos
+}
+
+// String renders the edge with its program locations.
+func (e Edge) String() string {
+	return fmt.Sprintf("%s@%s -> %s@%s", e.Outer, e.OuterAt.Loc(), e.Inner, e.InnerAt.Loc())
+}
+
+// Cycle is a potential static deadlock: allocation sites lockable in a
+// circular order. A single site can form a self-cycle (two objects from
+// one site taken in opposite orders, the synchronizedList pattern).
+type Cycle struct {
+	Sites []Site
+	Edges []Edge
+}
+
+// String renders the cycle.
+func (c Cycle) String() string {
+	parts := make([]string, len(c.Sites))
+	for i, s := range c.Sites {
+		parts[i] = string(s)
+	}
+	return "[" + strings.Join(parts, " -> ") + "]"
+}
+
+// Result is the analyzer's output.
+type Result struct {
+	// Edges is the lock-order graph, deterministic order.
+	Edges []Edge
+	// Cycles are the potential deadlocks, shortest first.
+	Cycles []Cycle
+	// PointsTo exposes the computed variable solution for debugging
+	// and tests: "fn.var" -> sites.
+	PointsTo map[string][]Site
+}
+
+// Analyze runs the detector on a resolved program.
+func Analyze(prog *lang.Program) *Result {
+	a := &analysis{
+		prog:   prog,
+		pts:    map[string]siteSet{},
+		rets:   map[string]siteSet{},
+		fields: map[string]siteSet{},
+	}
+	a.solvePointsTo()
+	a.buildLockOrder()
+	return a.result()
+}
+
+// siteSet is a set of allocation sites.
+type siteSet map[Site]bool
+
+func (s siteSet) addAll(o siteSet) bool {
+	changed := false
+	for k := range o {
+		if !s[k] {
+			s[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+type analysis struct {
+	prog *lang.Program
+	// pts maps "fn.var" to the allocation sites it may hold.
+	pts map[string]siteSet
+	// rets maps a function name to the sites its returns may yield.
+	rets map[string]siteSet
+	// fields maps a field name to the sites stored in it anywhere
+	// (field-based, not object-based: the cheap classic
+	// approximation).
+	fields  map[string]siteSet
+	changed bool
+	// edges collects lock-order facts, deduplicated.
+	edges map[string]Edge
+	// heldAt maps a function to the lock environments it may be
+	// invoked under: pairs of (site, sync position).
+	heldAt map[string]map[heldKey]heldLock
+}
+
+type heldKey struct {
+	site Site
+	loc  string
+}
+
+type heldLock struct {
+	site Site
+	at   lang.Pos
+}
+
+func key(fn, v string) string { return fn + "." + v }
+
+// varSet returns (allocating) the solution cell for fn-local v.
+func (a *analysis) varSet(fn, v string) siteSet {
+	k := key(fn, v)
+	s, ok := a.pts[k]
+	if !ok {
+		s = siteSet{}
+		a.pts[k] = s
+	}
+	return s
+}
+
+// retSet returns (allocating) the return cell for fn.
+func (a *analysis) retSet(fn string) siteSet {
+	s, ok := a.rets[fn]
+	if !ok {
+		s = siteSet{}
+		a.rets[fn] = s
+	}
+	return s
+}
+
+// fieldSet returns (allocating) the cell for a field name.
+func (a *analysis) fieldSet(name string) siteSet {
+	s, ok := a.fields[name]
+	if !ok {
+		s = siteSet{}
+		a.fields[name] = s
+	}
+	return s
+}
+
+// flow merges src into dst, recording change.
+func (a *analysis) flow(dst, src siteSet) {
+	if dst.addAll(src) {
+		a.changed = true
+	}
+}
+
+// solvePointsTo iterates the flow-insensitive, context-insensitive
+// points-to constraints to a fixpoint. CLF has no heap fields on plain
+// objects' locks paths besides allocation, so the constraint system is
+// assignments, parameter bindings and returns.
+func (a *analysis) solvePointsTo() {
+	for {
+		a.changed = false
+		for _, f := range a.prog.Funcs {
+			a.ptsBlock(f, f.Body)
+		}
+		if !a.changed {
+			return
+		}
+	}
+}
+
+func (a *analysis) ptsBlock(f *lang.FuncDecl, b *lang.Block) {
+	for _, s := range b.Stmts {
+		a.ptsStmt(f, s)
+	}
+}
+
+func (a *analysis) ptsStmt(f *lang.FuncDecl, s lang.Stmt) {
+	switch s := s.(type) {
+	case *lang.Block:
+		a.ptsBlock(f, s)
+	case *lang.VarStmt:
+		a.flow(a.varSet(f.Name, s.Name), a.ptsExpr(f, s.Init))
+	case *lang.AssignStmt:
+		a.flow(a.varSet(f.Name, s.Name), a.ptsExpr(f, s.Val))
+	case *lang.SyncStmt:
+		a.ptsExpr(f, s.Lock)
+		a.ptsBlock(f, s.Body)
+	case *lang.IfStmt:
+		a.ptsExpr(f, s.Cond)
+		a.ptsBlock(f, s.Then)
+		if s.Else != nil {
+			a.ptsStmt(f, s.Else)
+		}
+	case *lang.WhileStmt:
+		a.ptsExpr(f, s.Cond)
+		a.ptsBlock(f, s.Body)
+	case *lang.WorkStmt:
+		a.ptsExpr(f, s.N)
+	case *lang.JoinStmt:
+		a.ptsExpr(f, s.Thread)
+	case *lang.AwaitStmt:
+		a.ptsExpr(f, s.Latch)
+	case *lang.SignalStmt:
+		a.ptsExpr(f, s.Latch)
+	case *lang.WaitStmt:
+		a.ptsExpr(f, s.Obj)
+	case *lang.NotifyStmt:
+		a.ptsExpr(f, s.Obj)
+	case *lang.ReturnStmt:
+		if s.Val != nil {
+			a.flow(a.retSet(f.Name), a.ptsExpr(f, s.Val))
+		}
+	case *lang.FieldAssignStmt:
+		a.ptsExpr(f, s.Obj)
+		a.flow(a.fieldSet(s.Field), a.ptsExpr(f, s.Val))
+	case *lang.PrintStmt:
+		for _, e := range s.Args {
+			a.ptsExpr(f, e)
+		}
+	case *lang.ExprStmt:
+		a.ptsExpr(f, s.X)
+	}
+}
+
+// ptsExpr evaluates an expression to its may-point-to site set and
+// propagates call bindings as a side effect.
+func (a *analysis) ptsExpr(f *lang.FuncDecl, e lang.Expr) siteSet {
+	switch e := e.(type) {
+	case *lang.NewExpr:
+		return siteSet{Site(e.Pos.Loc()): true}
+	case *lang.NewLatchExpr:
+		return siteSet{Site(e.Pos.Loc()): true}
+	case *lang.Ident:
+		return a.varSet(f.Name, e.Name)
+	case *lang.FieldExpr:
+		a.ptsExpr(f, e.Obj)
+		return a.fieldSet(e.Name)
+	case *lang.CallExpr:
+		return a.ptsCall(f, e)
+	case *lang.SpawnExpr:
+		a.ptsCall(f, e.Call)
+		// The thread handle's monitor is the implicit thread object,
+		// allocated at the spawn site.
+		return siteSet{Site(e.Pos.Loc()): true}
+	case *lang.UnaryExpr:
+		a.ptsExpr(f, e.X)
+		return nil
+	case *lang.BinaryExpr:
+		a.ptsExpr(f, e.L)
+		a.ptsExpr(f, e.R)
+		return nil
+	default:
+		return nil
+	}
+}
+
+// ptsCall binds argument sets to callee parameters and returns the
+// callee's return set.
+func (a *analysis) ptsCall(f *lang.FuncDecl, c *lang.CallExpr) siteSet {
+	callee, ok := a.prog.Func(c.Name)
+	if !ok {
+		return nil
+	}
+	for i, arg := range c.Args {
+		set := a.ptsExpr(f, arg)
+		if i < len(callee.Params) && len(set) > 0 {
+			a.flow(a.varSet(callee.Name, callee.Params[i]), set)
+		}
+	}
+	return a.retSet(c.Name)
+}
+
+// buildLockOrder computes, to a fixpoint over the call graph, the lock
+// environments each function may run under, and collects ordered-pair
+// edges at every sync statement.
+func (a *analysis) buildLockOrder() {
+	a.edges = map[string]Edge{}
+	a.heldAt = map[string]map[heldKey]heldLock{}
+	for _, f := range a.prog.Funcs {
+		a.heldAt[f.Name] = map[heldKey]heldLock{}
+	}
+	for {
+		a.changed = false
+		for _, f := range a.prog.Funcs {
+			var env []heldLock
+			for _, h := range a.heldAt[f.Name] {
+				env = append(env, h)
+			}
+			sort.Slice(env, func(i, j int) bool {
+				if env[i].site != env[j].site {
+					return env[i].site < env[j].site
+				}
+				return env[i].at.Loc() < env[j].at.Loc()
+			})
+			a.orderBlock(f, f.Body, env)
+		}
+		if !a.changed {
+			return
+		}
+	}
+}
+
+// addHeld records that callee may run while the env locks are held.
+func (a *analysis) addHeld(callee string, env []heldLock) {
+	m, ok := a.heldAt[callee]
+	if !ok {
+		return
+	}
+	for _, h := range env {
+		k := heldKey{h.site, h.at.Loc()}
+		if _, dup := m[k]; !dup {
+			m[k] = h
+			a.changed = true
+		}
+	}
+}
+
+// addEdge records a lock-order fact.
+func (a *analysis) addEdge(e Edge) {
+	k := string(e.Outer) + "|" + e.OuterAt.Loc() + "|" + string(e.Inner) + "|" + e.InnerAt.Loc()
+	if _, dup := a.edges[k]; !dup {
+		a.edges[k] = e
+		a.changed = true
+	}
+}
+
+func (a *analysis) orderBlock(f *lang.FuncDecl, b *lang.Block, env []heldLock) {
+	for _, s := range b.Stmts {
+		a.orderStmt(f, s, env)
+	}
+}
+
+func (a *analysis) orderStmt(f *lang.FuncDecl, s lang.Stmt, env []heldLock) {
+	switch s := s.(type) {
+	case *lang.Block:
+		a.orderBlock(f, s, env)
+	case *lang.SyncStmt:
+		sites := a.ptsExpr(f, s.Lock)
+		var ordered []Site
+		for site := range sites {
+			ordered = append(ordered, site)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+		for _, inner := range ordered {
+			for _, h := range env {
+				a.addEdge(Edge{Outer: h.site, Inner: inner, OuterAt: h.at, InnerAt: s.Pos})
+			}
+		}
+		for _, inner := range ordered {
+			a.orderBlock(f, s.Body, append(env, heldLock{site: inner, at: s.Pos}))
+		}
+		if len(ordered) == 0 {
+			a.orderBlock(f, s.Body, env)
+		}
+	case *lang.IfStmt:
+		a.orderBlock(f, s.Then, env)
+		if s.Else != nil {
+			a.orderStmt(f, s.Else, env)
+		}
+	case *lang.WhileStmt:
+		a.orderBlock(f, s.Body, env)
+	case *lang.VarStmt:
+		a.orderCalls(f, s.Init, env)
+	case *lang.AssignStmt:
+		a.orderCalls(f, s.Val, env)
+	case *lang.FieldAssignStmt:
+		a.orderCalls(f, s.Obj, env)
+		a.orderCalls(f, s.Val, env)
+	case *lang.ReturnStmt:
+		if s.Val != nil {
+			a.orderCalls(f, s.Val, env)
+		}
+	case *lang.ExprStmt:
+		a.orderCalls(f, s.X, env)
+	case *lang.PrintStmt:
+		for _, e := range s.Args {
+			a.orderCalls(f, e, env)
+		}
+	}
+}
+
+// orderCalls propagates the held environment into called functions.
+// A spawned function starts on a fresh thread with no locks held.
+func (a *analysis) orderCalls(f *lang.FuncDecl, e lang.Expr, env []heldLock) {
+	switch e := e.(type) {
+	case *lang.CallExpr:
+		for _, arg := range e.Args {
+			a.orderCalls(f, arg, env)
+		}
+		a.addHeld(e.Name, env)
+	case *lang.SpawnExpr:
+		for _, arg := range e.Call.Args {
+			a.orderCalls(f, arg, env)
+		}
+		a.addHeld(e.Call.Name, nil)
+	case *lang.FieldExpr:
+		a.orderCalls(f, e.Obj, env)
+	case *lang.UnaryExpr:
+		a.orderCalls(f, e.X, env)
+	case *lang.BinaryExpr:
+		a.orderCalls(f, e.L, env)
+		a.orderCalls(f, e.R, env)
+	}
+}
+
+// result assembles the deterministic output and enumerates cycles.
+func (a *analysis) result() *Result {
+	out := &Result{PointsTo: map[string][]Site{}}
+	for k, set := range a.pts {
+		if len(set) == 0 {
+			continue
+		}
+		var sites []Site
+		for s := range set {
+			sites = append(sites, s)
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		out.PointsTo[k] = sites
+	}
+	var keys []string
+	for k := range a.edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out.Edges = append(out.Edges, a.edges[k])
+	}
+	out.Cycles = findCycles(out.Edges)
+	return out
+}

@@ -1,0 +1,138 @@
+// Package waitgraph implements wait-for-graph cycle detection, the
+// confirmation step behind the paper's checkRealDeadlock (Algorithm 4).
+//
+// In a lock-based system each blocked thread waits for exactly one lock,
+// and each held lock has exactly one holder, so the wait-for relation is
+// a functional graph over threads: t -> holder(want(t)). A resource
+// deadlock is exactly a cycle in this graph.
+package waitgraph
+
+import "dlfuzz/internal/event"
+
+// Graph is a wait-for graph under construction. The zero value is empty
+// and ready to use after New.
+type Graph struct {
+	next map[event.TID]event.TID
+}
+
+// New returns an empty wait-for graph.
+func New() *Graph {
+	return &Graph{next: make(map[event.TID]event.TID)}
+}
+
+// Wait records that thread t is blocked on a lock held by holder.
+// Self-edges are ignored: a thread re-entering its own lock never waits.
+func (g *Graph) Wait(t, holder event.TID) {
+	if t == holder {
+		return
+	}
+	g.next[t] = holder
+}
+
+// Len returns the number of waiting threads.
+func (g *Graph) Len() int { return len(g.next) }
+
+// CycleFrom returns the cycle reachable from start, if start's wait chain
+// loops back onto itself. The returned slice lists the threads in wait
+// order starting at the first thread on the cycle; it is nil when the
+// chain ends at a running (non-waiting) thread or loops without
+// containing start... more precisely, it returns any cycle the chain from
+// start runs into, which for deadlock checking is reported the moment the
+// closing edge is added.
+func (g *Graph) CycleFrom(start event.TID) []event.TID {
+	seen := make(map[event.TID]int)
+	var chain []event.TID
+	cur := start
+	for {
+		if i, ok := seen[cur]; ok {
+			return chain[i:]
+		}
+		nxt, ok := g.next[cur]
+		if !ok {
+			return nil
+		}
+		seen[cur] = len(chain)
+		chain = append(chain, cur)
+		cur = nxt
+	}
+}
+
+// Cycles returns every cycle in the graph, each starting at its smallest
+// TID, in ascending order of that TID. Used by analyses that inspect a
+// whole stalled state rather than a single closing edge.
+func (g *Graph) Cycles() [][]event.TID {
+	visited := make(map[event.TID]bool)
+	var cycles [][]event.TID
+	// Iterate in deterministic TID order.
+	var tids []event.TID
+	for t := range g.next {
+		tids = append(tids, t)
+	}
+	for i := 1; i < len(tids); i++ {
+		for j := i; j > 0 && tids[j] < tids[j-1]; j-- {
+			tids[j], tids[j-1] = tids[j-1], tids[j]
+		}
+	}
+	for _, t := range tids {
+		if visited[t] {
+			continue
+		}
+		cyc := g.CycleFrom(t)
+		onCycle := make(map[event.TID]bool, len(cyc))
+		for _, c := range cyc {
+			onCycle[c] = true
+		}
+		// Mark the whole chain visited so shared tails are not re-walked.
+		cur := t
+		for {
+			if visited[cur] {
+				break
+			}
+			visited[cur] = true
+			nxt, ok := g.next[cur]
+			if !ok {
+				break
+			}
+			cur = nxt
+		}
+		if len(cyc) == 0 {
+			continue
+		}
+		// Canonicalize: rotate so the smallest TID leads, and only
+		// report the cycle when this walk discovered it (its members
+		// were not already claimed by an earlier cycle).
+		if claimedElsewhere(cyc, onCycle, cycles) {
+			continue
+		}
+		cycles = append(cycles, rotateMin(cyc))
+	}
+	return cycles
+}
+
+// claimedElsewhere reports whether cyc was already reported.
+func claimedElsewhere(cyc []event.TID, _ map[event.TID]bool, prior [][]event.TID) bool {
+	for _, p := range prior {
+		for _, t := range p {
+			for _, c := range cyc {
+				if t == c {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// rotateMin rotates the cycle so its smallest TID comes first.
+func rotateMin(cyc []event.TID) []event.TID {
+	mi := 0
+	for i, t := range cyc {
+		if t < cyc[mi] {
+			mi = i
+		}
+	}
+	out := make([]event.TID, 0, len(cyc))
+	out = append(out, cyc[mi:]...)
+	out = append(out, cyc[:mi]...)
+	return out
+}

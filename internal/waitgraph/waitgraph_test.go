@@ -1,0 +1,125 @@
+package waitgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dlfuzz/internal/event"
+)
+
+func TestCycleFromSimple(t *testing.T) {
+	g := New()
+	g.Wait(1, 2)
+	g.Wait(2, 1)
+	cyc := g.CycleFrom(1)
+	if len(cyc) != 2 {
+		t.Fatalf("cycle = %v", cyc)
+	}
+}
+
+func TestCycleFromChainIntoCycle(t *testing.T) {
+	// 5 -> 1 -> 2 -> 3 -> 1: the chain from 5 runs into the cycle
+	// {1,2,3}; the reported cycle must contain exactly those.
+	g := New()
+	g.Wait(5, 1)
+	g.Wait(1, 2)
+	g.Wait(2, 3)
+	g.Wait(3, 1)
+	cyc := g.CycleFrom(5)
+	if len(cyc) != 3 {
+		t.Fatalf("cycle = %v", cyc)
+	}
+	seen := map[event.TID]bool{}
+	for _, x := range cyc {
+		seen[x] = true
+	}
+	if !seen[1] || !seen[2] || !seen[3] || seen[5] {
+		t.Errorf("cycle members = %v", cyc)
+	}
+}
+
+func TestCycleFromNoCycle(t *testing.T) {
+	g := New()
+	g.Wait(1, 2)
+	g.Wait(2, 3)
+	if cyc := g.CycleFrom(1); cyc != nil {
+		t.Errorf("unexpected cycle %v", cyc)
+	}
+}
+
+func TestSelfEdgeIgnored(t *testing.T) {
+	g := New()
+	g.Wait(1, 1)
+	if g.Len() != 0 {
+		t.Error("self edge should be ignored (re-entrant acquire)")
+	}
+	if cyc := g.CycleFrom(1); cyc != nil {
+		t.Errorf("unexpected cycle %v", cyc)
+	}
+}
+
+func TestCyclesMultiple(t *testing.T) {
+	g := New()
+	// Two disjoint 2-cycles and one waiter chained onto the first.
+	g.Wait(1, 2)
+	g.Wait(2, 1)
+	g.Wait(3, 4)
+	g.Wait(4, 3)
+	g.Wait(9, 1)
+	cycles := g.Cycles()
+	if len(cycles) != 2 {
+		t.Fatalf("cycles = %v", cycles)
+	}
+	if cycles[0][0] != 1 || cycles[1][0] != 3 {
+		t.Errorf("cycles not canonicalized: %v", cycles)
+	}
+}
+
+func TestCyclesEmpty(t *testing.T) {
+	if got := New().Cycles(); len(got) != 0 {
+		t.Errorf("cycles of empty graph = %v", got)
+	}
+}
+
+// Property: for a random functional graph, every cycle returned by
+// Cycles is a genuine cycle (following edges from each member returns to
+// it), cycles are disjoint, and CycleFrom agrees with membership.
+func TestCyclesProperty(t *testing.T) {
+	prop := func(edges []uint8) bool {
+		g := New()
+		next := map[event.TID]event.TID{}
+		for i := 0; i+1 < len(edges); i += 2 {
+			from := event.TID(edges[i] % 12)
+			to := event.TID(edges[i+1] % 12)
+			if from == to {
+				continue
+			}
+			// Functional graph: last write wins, mirroring Wait.
+			g.Wait(from, to)
+			next[from] = to
+		}
+		seen := map[event.TID]bool{}
+		for _, cyc := range g.Cycles() {
+			if len(cyc) < 2 {
+				return false
+			}
+			for i, x := range cyc {
+				if seen[x] { // disjointness
+					return false
+				}
+				seen[x] = true
+				if next[x] != cyc[(i+1)%len(cyc)] { // genuine cycle
+					return false
+				}
+			}
+			// CycleFrom on a member finds a cycle of the same length.
+			if got := g.CycleFrom(cyc[0]); len(got) != len(cyc) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

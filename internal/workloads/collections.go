@@ -1,0 +1,160 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/sched"
+)
+
+// The Java Collections Framework benchmarks: deadlocks from concurrent
+// use of Collections.synchronizedX wrappers. l1.addAll(l2) locks l1 then
+// l2 while l2.retainAll(l1) locks l2 then l1; addAll/removeAll/retainAll
+// give 9 method combinations per list class, and equals/get-style pairs
+// give 4 per map class (paper Section 5.3).
+//
+// All wrapped collections are allocated through
+// Collections.synchronizedX — one allocation site, one (static) creator
+// — so only execution indexing can tell two lists apart. That makes
+// these benchmarks the paper's show-case for abstraction quality: with
+// the trivial abstraction the checker pauses everything that touches any
+// wrapper and thrashes (Figure 2, Collections columns).
+
+// listMethod is one double-locking wrapper method with its acquire sites.
+type listMethod struct {
+	name  string
+	outer event.Loc
+	inner event.Loc
+}
+
+var listClasses = []struct {
+	class   string
+	methods []listMethod
+}{
+	{"ArrayList", []listMethod{
+		{"addAll", "SynchronizedList.addAll:644", "ArrayList.addAll:588"},
+		{"removeAll", "SynchronizedCollection.removeAll:394", "ArrayList.removeAll:696"},
+		{"retainAll", "SynchronizedCollection.retainAll:401", "ArrayList.retainAll:720"},
+	}},
+	{"Stack", []listMethod{
+		{"addAll", "SynchronizedList.addAll:644", "Vector.addAll:942"},
+		{"removeAll", "SynchronizedCollection.removeAll:394", "Vector.removeAll:980"},
+		{"retainAll", "SynchronizedCollection.retainAll:401", "Vector.retainAll:1001"},
+	}},
+	{"LinkedList", []listMethod{
+		{"addAll", "SynchronizedList.addAll:644", "LinkedList.addAll:408"},
+		{"removeAll", "SynchronizedCollection.removeAll:394", "LinkedList.removeAll:512"},
+		{"retainAll", "SynchronizedCollection.retainAll:401", "LinkedList.retainAll:530"},
+	}},
+}
+
+// SyncLists models the synchronized list benchmarks: for each of the
+// three classes, all nine ordered method pairs run as separate two-thread
+// sessions, each session racing m_i(l1, l2) against m_j(l2, l1). That is
+// the harness shape that makes every one of the 9+9+9 cycles
+// individually reproducible with probability ~1 (Table 1: 0.99).
+func SyncLists() Workload {
+	return Workload{
+		Name:        "lists",
+		Desc:        "Collections.synchronizedList: addAll/removeAll/retainAll, 9 cycles per class",
+		PaperLoC:    17633,
+		PaperCycles: "9+9+9",
+		PaperProb:   "0.99",
+		ExpectReal:  27,
+		Prog: func(c *sched.Ctx) {
+			for _, cls := range listClasses {
+				for _, mi := range cls.methods {
+					for _, mj := range cls.methods {
+						listSession(c, cls.class, mi, mj)
+					}
+				}
+			}
+		},
+	}
+}
+
+// listSession runs one two-thread race: a does mi(l1, l2), b (delayed)
+// does mj(l2, l1). Fresh wrappers per session, all born at the single
+// synchronizedList site.
+func listSession(c *sched.Ctx, class string, mi, mj listMethod) {
+	l1 := c.New(class, "Collections.synchronizedList:2046")
+	l2 := c.New(class, "Collections.synchronizedList:2046")
+	invoke := func(c *sched.Ctx, m listMethod, dst, src *object.Obj) {
+		c.Sync(dst, m.outer, func() {
+			c.Sync(src, m.inner, func() {
+				c.Step("Iterator.next:112")
+			})
+		})
+	}
+	a := c.Spawn(fmt.Sprintf("%s-%s", class, mi.name), nil, "ListTest.main:61", func(c *sched.Ctx) {
+		invoke(c, mi, l1, l2)
+	})
+	b := c.Spawn(fmt.Sprintf("%s-%s", class, mj.name), nil, "ListTest.main:64", func(c *sched.Ctx) {
+		c.Work(25, "ListTest.fill:70")
+		invoke(c, mj, l2, l1)
+	})
+	c.Join(a, "ListTest.main:67")
+	c.Join(b, "ListTest.main:68")
+}
+
+var mapClasses = []string{"HashMap", "TreeMap", "WeakHashMap", "LinkedHashMap", "IdentityHashMap"}
+
+// mapMethods are the two double-locking map operations; m1.equals(m2)
+// locks m1 then m2, and the batch read path (get-with-default over the
+// other map) does the same.
+var mapMethods = []listMethod{
+	{"equals", "SynchronizedMap.equals:721", "AbstractMap.equals:472"},
+	{"get", "SynchronizedMap.get:636", "AbstractMap.containsValue:364"},
+}
+
+// SyncMaps models the synchronized map benchmarks. Unlike the lists,
+// each session's threads run *both* methods back to back, so when the
+// checker steers toward one cycle a competing cycle over the same two
+// monitors often fires first — a real deadlock, but not the requested
+// one. That is the paper's explanation for the Maps row's probability of
+// 0.52.
+func SyncMaps() Workload {
+	return Workload{
+		Name:        "maps",
+		Desc:        "Collections.synchronizedMap: equals/get, 4 cycles per class, competing deadlocks",
+		PaperLoC:    18911,
+		PaperCycles: "4+4+4+4+4",
+		PaperProb:   "0.52",
+		ExpectReal:  20,
+		Prog: func(c *sched.Ctx) {
+			for _, class := range mapClasses {
+				mapSession(c, class)
+			}
+		},
+	}
+}
+
+// mapSession races two threads over one pair of maps; each thread runs
+// both double-locking methods in sequence, giving 2x2 potential cycles.
+func mapSession(c *sched.Ctx, class string) {
+	m1 := c.New(class, "Collections.synchronizedMap:2274")
+	m2 := c.New(class, "Collections.synchronizedMap:2274")
+	invoke := func(c *sched.Ctx, m listMethod, dst, src *object.Obj) {
+		c.Sync(dst, m.outer, func() {
+			c.Sync(src, m.inner, func() {
+				c.Step("AbstractMap.entryIter:480")
+			})
+		})
+	}
+	a := c.Spawn(class+"-a", nil, "MapTest.main:41", func(c *sched.Ctx) {
+		for _, m := range mapMethods {
+			invoke(c, m, m1, m2)
+			c.Work(3, "MapTest.pause:47")
+		}
+	})
+	b := c.Spawn(class+"-b", nil, "MapTest.main:44", func(c *sched.Ctx) {
+		c.Work(60, "MapTest.fill:50")
+		for _, m := range mapMethods {
+			invoke(c, m, m2, m1)
+			c.Work(3, "MapTest.pause:47")
+		}
+	})
+	c.Join(a, "MapTest.main:52")
+	c.Join(b, "MapTest.main:53")
+}

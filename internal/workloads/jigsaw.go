@@ -1,0 +1,158 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/sched"
+)
+
+// Jigsaw models the W3C Jigsaw web server under the paper's test harness
+// (concurrent client requests plus administrative shutdown). It plants
+// the two previously-unknown real deadlocks of Figure 3 and the
+// waitForRunner false-positive pattern of Section 5.4:
+//
+//   - Shutdown path: httpd.cleanup -> SocketClientFactory.shutdown ->
+//     killClients holds the factory monitor (line 867) and asks for the
+//     csList monitor (line 872).
+//   - Connection-finished path: SocketClient.run ->
+//     clientConnectionFinished holds csList (line 623) and asks for the
+//     factory via synchronized decrIdleCount (line 574). Inverted order:
+//     real deadlock, one potential cycle per client thread.
+//   - Idle-kill path: same two monitors at different program locations —
+//     the paper's "another similar deadlock".
+//   - CachedThread.waitForRunner: a lock inversion that can only occur
+//     if waitForRunner ran before the CachedThread was started, which
+//     the start handshake (a latch) forbids. iGoodlock reports it; the
+//     happens-before filter proves it false; the checker cannot
+//     reproduce it.
+//
+// Two effects keep the reproduction probability modest, as in the
+// paper's Jigsaw row (0.214): every client runs the same code on the
+// same two global monitors, so a *different* client's equivalent
+// deadlock can fire first; and whether a given client reports its
+// finished connection at all depends on the keep-alive budget — a
+// path decision made by whichever clients get scheduled first. A
+// targeted client that loses the budget race never reaches its pause
+// point and the run completes without the requested deadlock (the
+// paper's "the execution could simply take a different path").
+func Jigsaw() Workload {
+	const (
+		clients = 5
+		// keepAliveBudget is how many clients take the
+		// connection-finished path; the rest keep their connection
+		// alive and exit without touching the inverted locks.
+		keepAliveBudget = 2
+	)
+	return Workload{
+		Name:              "jigsaw",
+		Desc:              "Jigsaw httpd: factory/csList inversions + waitForRunner false positives",
+		PaperLoC:          160388,
+		PaperCycles:       "283",
+		PaperProb:         "0.214",
+		ExpectReal:        keepAliveBudget + 1,
+		HasFalsePositives: true,
+		Prog: func(c *sched.Ctx) {
+			httpd := c.New("httpd", "httpd.<init>:79")
+			var factory, csList, runnerTable *object.Obj
+			c.Call("initFactory", httpd, "httpd.initFactory:384", func() {
+				factory = c.New("SocketClientFactory", "httpd.initFactory:386")
+				csList = c.New("SocketClientState", "SocketClientFactory.<init>:130")
+				runnerTable = c.New("RunnerTable", "SocketClientFactory.<init>:134")
+			})
+
+			var ts []*sched.Thread
+			// finished counts clients that took the report path; the
+			// shared counter is safe because exactly one simulated
+			// thread runs between scheduling points. The accept gate
+			// releases all clients at once, so which of them exhaust
+			// the keep-alive budget is a genuine scheduling race.
+			finished := 0
+			gate := c.NewLatch("httpd.acceptLoop:412")
+			for i := 0; i < clients; i++ {
+				// CachedThread factory: every client thread object is
+				// born at the same allocation site.
+				var ct *object.Obj
+				c.Call("createClient", factory, "SocketClientFactory.createClient:199", func() {
+					ct = c.New("CachedThread", "SocketClientFactory.createClient:201")
+				})
+				started := c.NewLatch("CachedThread.<init>:82")
+
+				// The start handshake: the starter holds the cached
+				// thread's monitor, registers it in the runner table,
+				// then starts it. waitForRunner takes the same two
+				// monitors in the opposite order, but only ever runs
+				// after the start latch — the Section 5.4 false
+				// positive.
+				c.Sync(ct, "CachedThread.start:210", func() {
+					c.Sync(runnerTable, "CachedThread.register:218", func() {
+						c.Step("RunnerTable.put:44")
+					})
+				})
+
+				t := c.Spawn(fmt.Sprintf("SocketClient-%d", i), ct, "CachedThread.start:226", func(c *sched.Ctx) {
+					c.Await(started, "CachedThread.run:301")
+					c.Sync(runnerTable, "CachedThread.waitForRunner:325", func() {
+						c.Sync(ct, "CachedThread.waitForRunner:327", func() {
+							c.Step("CachedThread.bind:331")
+						})
+					})
+					// Serve a request. Only the first keepAliveBudget
+					// clients to finish serving report the closed
+					// connection — csList -> factory, the inverted
+					// order; the rest keep the connection alive.
+					c.Await(gate, "SocketClient.run:118")
+					c.Work(6, "SocketClient.serve:128")
+					if finished < keepAliveBudget {
+						finished++
+						c.Call("clientConnectionFinished", factory, "SocketClient.run:152", func() {
+							c.Sync(csList, "SocketClientFactory.clientConnectionFinished:623", func() {
+								c.Sync(factory, "SocketClientFactory.decrIdleCount:574", func() {
+									c.Step("SocketClientFactory.count:577")
+								})
+							})
+						})
+					} else {
+						c.Step("SocketClient.keepAlive:164")
+					}
+				})
+				c.Signal(started, "CachedThread.start:230")
+				ts = append(ts, t)
+			}
+
+			c.Signal(gate, "httpd.acceptLoop:431")
+
+			// The idle-connection killer: same monitors as the finished
+			// path, different program locations.
+			idle := c.Spawn("IdleKiller", nil, "SocketClientFactory.startIdleScan:702", func(c *sched.Ctx) {
+				c.Work(90, "IdleScanner.sleep:715")
+				c.Sync(csList, "SocketClientFactory.idleClientFinished:652", func() {
+					c.Sync(factory, "SocketClientFactory.decrIdleCount:574", func() {
+						c.Step("SocketClientFactory.count:577")
+					})
+				})
+			})
+
+			// The admin thread issues the shutdown command mid-run:
+			// factory -> csList.
+			admin := c.Spawn("Admin", nil, "httpd.run:1711", func(c *sched.Ctx) {
+				c.Work(110, "httpd.waitForCommand:1720")
+				c.Call("cleanup", httpd, "httpd.run:1734", func() {
+					c.Call("shutdown", factory, "httpd.cleanup:1455", func() {
+						c.Sync(factory, "SocketClientFactory.killClients:867", func() {
+							c.Sync(csList, "SocketClientFactory.killClients:872", func() {
+								c.Step("SocketClientState.close:880")
+							})
+						})
+					})
+				})
+			})
+
+			for _, t := range ts {
+				c.Join(t, "httpd.join:1745")
+			}
+			c.Join(idle, "httpd.join:1746")
+			c.Join(admin, "httpd.join:1747")
+		},
+	}
+}

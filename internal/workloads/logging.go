@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/sched"
+)
+
+// Logging models the java.util.logging deadlocks: the Logger's monitor
+// and a Handler's monitor are acquired in opposite orders by the logging
+// path (Logger.log -> Handler.publish) and the maintenance path
+// (StreamHandler.flush -> Logger.getLevel). With three handlers there are
+// three distinct deadlock cycles (Table 1 reports 3/3/3, probability
+// 1.00, zero thrashing).
+//
+// The handlers are allocated through a factory method — one allocation
+// site, one creator chain — so k-object-sensitivity cannot tell them
+// apart while execution indexing can. This is the allocation pattern
+// behind the variant 1 vs variant 2 gap on this benchmark in Figure 2.
+func Logging() Workload {
+	return Workload{
+		Name:        "log",
+		Desc:        "java.util.logging: Logger vs Handler lock inversion, 3 handlers",
+		PaperLoC:    4248,
+		PaperCycles: "3",
+		PaperProb:   "1.00",
+		ExpectReal:  3,
+		Prog: func(c *sched.Ctx) {
+			manager := c.New("LogManager", "LogManager.<init>:151")
+			logger := c.New("Logger", "Logger.<init>:203")
+			newHandler := func() (h *object.Obj) {
+				// Factory pattern: every handler born at one site with
+				// the same creator.
+				c.Call("newHandler", manager, "LogManager.init:180", func() {
+					h = c.New("StreamHandler", "LogManager.newHandler:188")
+				})
+				return
+			}
+			// One logger/flusher pair per handler, pairs one after
+			// another (each pair is one logging session). The decoy
+			// thread runs the logging path on a handler nobody flushes:
+			// only a position-aware abstraction can tell it from the
+			// real logging thread.
+			for i := 0; i < 3; i++ {
+				h := newHandler()
+				extra := newHandler()
+				logT := c.Spawn(fmt.Sprintf("logger-%d", i), nil, "LogTest.main:31", func(c *sched.Ctx) {
+					c.Sync(logger, "Logger.log:194", func() {
+						c.Step("Logger.levelCheck:201")
+						c.Sync(h, "Handler.publish:57", func() {
+							c.Step("StreamHandler.write:61")
+						})
+					})
+				})
+				decoy := c.Spawn(fmt.Sprintf("decoy-%d", i), nil, "LogTest.main:31", func(c *sched.Ctx) {
+					c.Sync(logger, "Logger.log:194", func() {
+						c.Step("Logger.levelCheck:201")
+						c.Sync(extra, "Handler.publish:57", func() {
+							c.Step("StreamHandler.write:61")
+						})
+					})
+				})
+				flushT := c.Spawn(fmt.Sprintf("flusher-%d", i), nil, "LogTest.main:35", func(c *sched.Ctx) {
+					// Delayed so a plain random schedule rarely overlaps
+					// the two critical sections.
+					c.Work(25, "LogTest.sleep:38")
+					c.Sync(h, "StreamHandler.flush:243", func() {
+						c.Sync(logger, "Logger.getLevel:262", func() {
+							c.Step("Logger.level:265")
+						})
+					})
+				})
+				c.Join(logT, "LogTest.main:44")
+				c.Join(decoy, "LogTest.main:45")
+				c.Join(flushT, "LogTest.main:46")
+			}
+		},
+	}
+}
+
+// DBCP models the Apache Commons DBCP deadlock: a Connection monitor and
+// a KeyedObjectPool monitor acquired in opposite orders by
+// prepareStatement (connection -> pool) and PreparedStatement.close
+// (pool -> connection). Two distinct client code paths give the two
+// cycles of Table 1 (2/2/2, probability 1.00, zero thrashing).
+//
+// A third client works on a second connection created at the same
+// allocation site with no closing counterpart: under k-object or trivial
+// abstraction it is indistinguishable from the deadlocking clients and
+// attracts wrong pauses; under execution indexing it is ignored.
+func DBCP() Workload {
+	return Workload{
+		Name:        "dbcp",
+		Desc:        "Commons DBCP: Connection vs KeyedObjectPool inversion, 2 paths",
+		PaperLoC:    27194,
+		PaperCycles: "2",
+		PaperProb:   "1.00",
+		ExpectReal:  2,
+		Prog: func(c *sched.Ctx) {
+			ds := c.New("PoolingDataSource", "BasicDataSource.<init>:88")
+			// newConn is called from several threads; it takes the
+			// calling thread's context explicitly.
+			newConn := func(c *sched.Ctx) (conn, pool *object.Obj) {
+				c.Call("getConnection", ds, "BasicDataSource.getConnection:540", func() {
+					conn = c.New("Connection", "PoolingDataSource.makeConnection:311")
+					pool = c.New("KeyedObjectPool", "PoolingDataSource.makePool:319")
+				})
+				return
+			}
+			// Each statement kind is a separate client session — one
+			// prepare/create racing one close, like DBCP clients that
+			// close a statement while another is being made. Sessions
+			// run one after another so the two cycles stay distinct.
+			session := func(outer, inner event.Loc) {
+				conn, pool := newConn(c)
+				maker := c.Spawn("maker", nil, "DbcpTest.main:20", func(c *sched.Ctx) {
+					c.Sync(conn, outer, func() {
+						c.Sync(pool, inner, func() {
+							c.Step("KeyedObjectPool.borrowObject:91")
+						})
+					})
+				})
+				closer := c.Spawn("closer", nil, "DbcpTest.main:27", func(c *sched.Ctx) {
+					c.Work(18, "DbcpTest.sleep:29")
+					c.Sync(pool, "PoolablePreparedStatement.close:78", func() {
+						c.Sync(conn, "PoolablePreparedStatement.close:106", func() {
+							c.Step("DelegatingConnection.removeTrace:312")
+						})
+					})
+				})
+				decoy := c.Spawn("decoy", nil, "DbcpTest.main:20", func(c *sched.Ctx) {
+					// Same code path as maker, unrelated connection.
+					conn2, pool2 := newConn(c)
+					c.Sync(conn2, outer, func() {
+						c.Sync(pool2, inner, func() {
+							c.Step("KeyedObjectPool.borrowObject:91")
+						})
+					})
+				})
+				c.Join(maker, "DbcpTest.main:35")
+				c.Join(closer, "DbcpTest.main:36")
+				c.Join(decoy, "DbcpTest.main:37")
+			}
+			session("DelegatingConnection.prepareStatement:185", "PoolingConnection.prepareStatement:87")
+			session("DelegatingConnection.createStatement:169", "PoolingConnection.createStatement:95")
+		},
+	}
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/sched"
+)
+
+// The four deadlock-free benchmarks. They are not filler: Table 1 reports
+// them precisely because iGoodlock must come back empty on real lock
+// discipline, and their runtimes calibrate the instrumentation-overhead
+// columns. Each uses nested locking with a consistent global order, so
+// the dependency relation is non-trivial but acyclic.
+
+// Cache4j models cache4j: a thread-safe object cache with one cache-wide
+// lock and per-entry locks, always acquired cache-then-entry.
+func Cache4j() Workload {
+	return Workload{
+		Name:        "cache4j",
+		Desc:        "thread-safe cache; cache lock then entry lock, consistent order",
+		PaperLoC:    3897,
+		PaperCycles: "-",
+		PaperProb:   "-",
+		Prog: func(c *sched.Ctx) {
+			cache := c.New("Cache", "Cache.<init>:40")
+			entries := make([]*object.Obj, 4)
+			for i := range entries {
+				entries[i] = c.New("CacheEntry", "Cache.newEntry:77")
+			}
+			var ts []*sched.Thread
+			for w := 0; w < 3; w++ {
+				w := w
+				t := c.Spawn(fmt.Sprintf("client-%d", w), nil, "CacheTest.main:21", func(c *sched.Ctx) {
+					for op := 0; op < 4; op++ {
+						e := entries[(w+op)%len(entries)]
+						c.Sync(cache, "Cache.put:102", func() {
+							c.Sync(e, "Cache.put:110", func() {
+								c.Step("CacheEntry.set:31")
+							})
+						})
+						c.Sync(cache, "Cache.get:131", func() {
+							c.Sync(e, "Cache.get:137", func() {
+								c.Step("CacheEntry.value:25")
+							})
+						})
+					}
+				})
+				ts = append(ts, t)
+			}
+			for _, t := range ts {
+				c.Join(t, "CacheTest.main:30")
+			}
+		},
+	}
+}
+
+// Sor models the ETH sor benchmark: successive over-relaxation workers
+// sweeping matrix rows, with per-row locks taken in ascending row order
+// and a latch barrier between phases.
+func Sor() Workload {
+	return Workload{
+		Name:        "sor",
+		Desc:        "SOR workers; per-row locks in ascending order, latch barrier",
+		PaperLoC:    17718,
+		PaperCycles: "-",
+		PaperProb:   "-",
+		Prog: func(c *sched.Ctx) {
+			const rows, workers = 6, 3
+			rowLocks := make([]*object.Obj, rows)
+			for i := range rowLocks {
+				rowLocks[i] = c.New("Row", "Sor.allocRow:58")
+			}
+			phase := c.NewLatch("Sor.main:30")
+			var ts []*sched.Thread
+			for w := 0; w < workers; w++ {
+				w := w
+				t := c.Spawn(fmt.Sprintf("sor-%d", w), nil, "Sor.main:35", func(c *sched.Ctx) {
+					c.Await(phase, "Sor.run:71")
+					for r := w; r < rows-1; r += workers {
+						// Relax row r against r+1: both row locks,
+						// always lower index first.
+						c.Sync(rowLocks[r], "Sor.relax:88", func() {
+							c.Sync(rowLocks[r+1], "Sor.relax:89", func() {
+								c.Work(2, "Sor.relax:93")
+							})
+						})
+					}
+				})
+				ts = append(ts, t)
+			}
+			c.Signal(phase, "Sor.main:41")
+			for _, t := range ts {
+				c.Join(t, "Sor.main:44")
+			}
+		},
+	}
+}
+
+// Hedc models the ETH hedc web-crawler: task threads that each lock
+// their task object and then the shared results table.
+func Hedc() Workload {
+	return Workload{
+		Name:        "hedc",
+		Desc:        "crawler tasks; task lock then shared results lock",
+		PaperLoC:    25024,
+		PaperCycles: "-",
+		PaperProb:   "-",
+		Prog: func(c *sched.Ctx) {
+			results := c.New("Results", "MetaSearch.<init>:44")
+			var ts []*sched.Thread
+			for i := 0; i < 4; i++ {
+				i := i
+				t := c.Spawn(fmt.Sprintf("task-%d", i), nil, "TaskFactory.create:102", func(c *sched.Ctx) {
+					task := c.New("Task", "Task.<init>:23")
+					c.Work(i, "Task.fetch:61")
+					c.Sync(task, "Task.process:77", func() {
+						c.Sync(results, "Results.add:130", func() {
+							c.Step("Results.insert:134")
+						})
+					})
+				})
+				ts = append(ts, t)
+			}
+			for _, t := range ts {
+				c.Join(t, "MetaSearch.join:58")
+			}
+		},
+	}
+}
+
+// JSpider models jspider: a worker pool draining a URL queue, locking
+// queue then visited-set, both shared, in one global order.
+func JSpider() Workload {
+	return Workload{
+		Name:        "jspider",
+		Desc:        "spider workers; queue lock then visited-set lock",
+		PaperLoC:    10252,
+		PaperCycles: "-",
+		PaperProb:   "-",
+		Prog: func(c *sched.Ctx) {
+			queue := c.New("TaskQueue", "Spider.<init>:51")
+			visited := c.New("VisitedSet", "Spider.<init>:52")
+			var ts []*sched.Thread
+			for w := 0; w < 3; w++ {
+				w := w
+				t := c.Spawn(fmt.Sprintf("spider-%d", w), nil, "Spider.start:88", func(c *sched.Ctx) {
+					for j := 0; j < 3; j++ {
+						c.Sync(queue, "WorkerThread.fetchTask:140", func() {
+							c.Sync(visited, "WorkerThread.markVisited:152", func() {
+								c.Step("VisitedSet.add:47")
+							})
+						})
+						c.Work(w, "WorkerThread.process:171")
+					}
+				})
+				ts = append(ts, t)
+			}
+			for _, t := range ts {
+				c.Join(t, "Spider.stop:101")
+			}
+		},
+	}
+}

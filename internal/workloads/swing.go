@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"fmt"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/sched"
+)
+
+// Swing models the javax.swing deadlock of Sun bug 4839713: the main
+// thread synchronizes on a JFrame and calls setCaretPosition, which needs
+// the BasicCaret's monitor (DefaultCaret.java:1244), while the EventQueue
+// thread holds the caret's monitor during a repaint
+// (DefaultCaret.java:1304) and asks for the JFrame's monitor
+// (RepaintManager.java:407). One cycle (Table 1: 1/1/1, probability 1.00,
+// 4.83 average thrashes).
+//
+// The paper singles Swing out because "the same locks are acquired and
+// released many times at many different program locations": both threads
+// also take the frame and caret monitors repeatedly at unrelated sites
+// (paint/blink/damage loops). Ignoring context (Figure 2 variant 4)
+// makes the checker pause at every one of those sites, which is what
+// blows up its thrashing and runtime on this benchmark.
+func Swing() Workload {
+	return Workload{
+		Name:        "swing",
+		Desc:        "javax.swing: JFrame vs BasicCaret inversion amid busy repaint traffic",
+		PaperLoC:    337291,
+		PaperCycles: "1",
+		PaperProb:   "1.00",
+		ExpectReal:  1,
+		Prog: func(c *sched.Ctx) {
+			frame := c.New("JFrame", "SwingTest.main:18")
+			caretSites := []event.Loc{
+				"DefaultCaret.repaint:1020",
+				"DefaultCaret.damage:894",
+				"DefaultCaret.setVisible:731",
+			}
+			frameSites := []event.Loc{
+				"RepaintManager.addDirtyRegion:390",
+				"Component.getTreeLock:1081",
+				"JComponent.paintImmediately:4988",
+			}
+			caretObj := c.New("BasicCaret", "BasicTextUI.createCaret:712")
+
+			eventQueue := c.Spawn("EventQueue", nil, "EventQueue.<init>:97", func(c *sched.Ctx) {
+				// Busy repaint traffic: many single acquires of both
+				// monitors at many distinct sites.
+				for i := 0; i < 2; i++ {
+					for _, s := range caretSites {
+						c.Sync(caretObj, s, func() {
+							c.Step("DefaultCaret.paint:402")
+						})
+					}
+					for _, s := range frameSites {
+						c.Sync(frame, s, func() {
+							c.Step("RepaintManager.paintDirtyRegions:412")
+						})
+					}
+				}
+				// The deadlocking repaint: caret held, frame wanted.
+				c.Sync(caretObj, "DefaultCaret.repaint:1304", func() {
+					c.Step("DefaultCaret.damageRange:1310")
+					c.Sync(frame, "RepaintManager.paint:407", func() {
+						c.Step("RepaintManager.paintRegion:415")
+					})
+				})
+			})
+
+			// The main (user) thread: traffic first, then the
+			// synchronized setCaretPosition.
+			for i := 0; i < 3; i++ {
+				c.Sync(frame, event.Loc(fmt.Sprintf("SwingTest.update:%d", 40+i)), func() {
+					c.Step("JFrame.validate:861")
+				})
+				c.Sync(caretObj, "JTextComponent.getCaretPosition:1405", func() {
+					c.Step("DefaultCaret.getDot:468")
+				})
+			}
+			c.Work(80, "SwingTest.compute:55")
+			c.Sync(frame, "SwingTest.main:27", func() {
+				c.Step("JTextArea.prepare:309")
+				c.Sync(caretObj, "DefaultCaret.setDot:1244", func() {
+					c.Step("DefaultCaret.changeCaretPosition:1250")
+				})
+			})
+			c.Join(eventQueue, "SwingTest.main:33")
+		},
+	}
+}

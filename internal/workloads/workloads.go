@@ -1,0 +1,68 @@
+// Package workloads models the nine benchmark programs of the paper's
+// evaluation (Table 1) as simulated concurrent programs.
+//
+// Each workload replicates the published locking skeleton of its
+// benchmark — the lock objects, the nesting structure, the program
+// locations (labels follow the paper's code excerpts where it gives
+// them), the allocation patterns (factory-style construction where the
+// abstraction comparison depends on it), and the timing skew ("long
+// running methods") that makes the deadlocks rare under naive random
+// scheduling. The analyses only observe the event stream, so these
+// skeletons exercise exactly the behaviour the paper measures.
+package workloads
+
+import (
+	"dlfuzz/internal/sched"
+)
+
+// Workload is one benchmark program plus the metadata the experiment
+// harness and the tests use.
+type Workload struct {
+	// Name is the benchmark's name as it appears in Table 1.
+	Name string
+	// Desc says what the model replicates.
+	Desc string
+	// Prog is the program body, run as the main thread.
+	Prog func(*sched.Ctx)
+	// PaperLoC is the benchmark's size in the paper (lines of
+	// instrumented source), reported for context in Table 1.
+	PaperLoC int
+	// PaperCycles is the paper's potential-cycle count, as printed
+	// ("283", "9+9+9", "-").
+	PaperCycles string
+	// PaperProb is the paper's reproduction probability ("-" if none).
+	PaperProb string
+	// ExpectReal is the number of distinct real deadlock cycles the
+	// model plants (0 for the deadlock-free benchmarks). Tests assert
+	// iGoodlock finds at least this many and the checker confirms them.
+	ExpectReal int
+	// HasFalsePositives marks workloads that also plant happens-before
+	// guarded (unconfirmable) cycles, like Jigsaw.
+	HasFalsePositives bool
+}
+
+// All returns every workload in Table 1 order.
+func All() []Workload {
+	return []Workload{
+		Cache4j(),
+		Sor(),
+		Hedc(),
+		JSpider(),
+		Jigsaw(),
+		Logging(),
+		Swing(),
+		DBCP(),
+		SyncLists(),
+		SyncMaps(),
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
