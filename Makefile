@@ -1,0 +1,28 @@
+# Convenience entry points; scripts/ci.sh is the source of truth for
+# what a CI pass runs.
+
+GO ?= go
+
+.PHONY: ci build test race bench fuzz-smoke vet
+
+ci:
+	./scripts/ci.sh
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/campaign/ ./internal/harness/
+
+# Serial-vs-parallel campaign scaling on the CLF programs.
+bench:
+	$(GO) test -run='^$$' -bench=BenchmarkConfirmCampaign -benchtime=20x .
+
+fuzz-smoke:
+	$(GO) test -run=Fuzz -fuzz=FuzzParser -fuzztime=10s ./internal/lang/

@@ -15,8 +15,12 @@ package dlfuzz_test
 // records a reference run against the paper's numbers.
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"dlfuzz"
 	"dlfuzz/internal/fuzzer"
 	"dlfuzz/internal/harness"
 	"dlfuzz/internal/igoodlock"
@@ -160,6 +164,58 @@ func BenchmarkSection54Imprecision(b *testing.B) {
 	n := float64(b.N)
 	b.ReportMetric(float64(potential)/n, "potential")
 	b.ReportMetric(float64(falsePos)/n, "hb-false")
+}
+
+// loadCLFTarget parses a testdata program and finds its first potential
+// cycle, outside benchmark timing.
+func loadCLFTarget(b *testing.B, name string) (func(*dlfuzz.Ctx), *dlfuzz.Cycle) {
+	b.Helper()
+	file := filepath.Join("testdata", name+".clf")
+	src, err := os.ReadFile(file)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := dlfuzz.ParseCLF(file, string(src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := prog.Body()
+	find, err := dlfuzz.Find(body, dlfuzz.DefaultFindOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(find.Cycles) == 0 {
+		b.Fatalf("%s: no potential cycles", name)
+	}
+	return body, find.Cycles[0]
+}
+
+// BenchmarkConfirmCampaign measures the campaign engine's scaling: one
+// benchmark iteration is one full 64-run Confirm campaign against the
+// program's first cycle, at 1, 2, 4 and all-core worker counts. The
+// report is identical at every width — only the wall time moves — so
+// the p1-vs-p4 ratio is the engine's speedup.
+func BenchmarkConfirmCampaign(b *testing.B) {
+	for _, name := range []string{"philosophers", "webserver"} {
+		body, cyc := loadCLFTarget(b, name)
+		for _, par := range []int{1, 2, 4, 0} {
+			label := fmt.Sprintf("%s/p%d", name, par)
+			if par == 0 {
+				label = name + "/pmax"
+			}
+			b.Run(label, func(b *testing.B) {
+				opts := dlfuzz.DefaultConfirmOptions()
+				opts.Runs = 64
+				opts.Parallelism = par
+				var reproduced int
+				for i := 0; i < b.N; i++ {
+					rep := dlfuzz.Confirm(body, cyc, opts)
+					reproduced = rep.Reproduced
+				}
+				b.ReportMetric(float64(reproduced)/float64(opts.Runs), "prob")
+			})
+		}
+	}
 }
 
 // --- Ablation microbenchmarks for the design choices DESIGN.md calls

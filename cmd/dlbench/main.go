@@ -7,6 +7,8 @@
 //	dlbench -fig 2a          # one Figure 2 graph
 //	dlbench -imprecision     # the Section 5.4 Jigsaw imprecision study
 //	dlbench -runs 20         # smaller campaigns
+//	dlbench -parallel 1      # serial campaigns (same numbers, slower)
+//	dlbench -stop-after 5    # stop a cycle's campaign at 5 reproductions
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/harness"
 	"dlfuzz/internal/report"
 	"dlfuzz/internal/workloads"
@@ -26,40 +29,46 @@ func main() {
 		imprecision = flag.Bool("imprecision", false, "run the Section 5.4 imprecision study on Jigsaw")
 		runs        = flag.Int("runs", 100, "Phase II executions per cycle")
 		maxCycles   = flag.Int("max-cycles", 0, "cap cycles per benchmark (0 = all)")
+		parallel    = flag.Int("parallel", 0, "campaign workers (0 = all cores, 1 = serial); results are identical")
+		stopAfter   = flag.Int("stop-after", 0, "stop each cycle's campaign after N reproductions (0 = run all seeds)")
 	)
 	flag.Parse()
+	copts := campaign.Options{Parallelism: *parallel, StopAfter: *stopAfter}
 
 	all := *table == "" && *fig == "" && !*imprecision
 	if *table == "1" || all {
-		if err := table1(*runs, *maxCycles); err != nil {
+		if err := table1(*runs, *maxCycles, *parallel, *stopAfter); err != nil {
 			fail(err)
 		}
 	}
 	wantFig := func(name string) bool { return all || *fig == name }
 	if wantFig("2a") || wantFig("2b") || wantFig("2c") {
-		points, err := harness.BuildFigure2(*runs, *maxCycles, 0)
+		points, err := harness.BuildFigure2(*runs, *maxCycles, 0, copts)
 		if err != nil {
 			fail(err)
 		}
 		report.WriteFigure2(os.Stdout, points)
 	}
 	if wantFig("2d") {
-		points, err := harness.BuildCorrelation(*runs, *maxCycles, 0)
+		points, err := harness.BuildCorrelation(*runs, *maxCycles, 0, copts)
 		if err != nil {
 			fail(err)
 		}
 		report.WriteCorrelation(os.Stdout, points)
 	}
 	if *imprecision || all {
-		if err := imprecisionStudy(*runs); err != nil {
+		if err := imprecisionStudy(*runs, copts); err != nil {
 			fail(err)
 		}
 	}
 }
 
-func table1(runs, maxCycles int) error {
+func table1(runs, maxCycles, parallel, stopAfter int) error {
 	fmt.Println("Table 1: two-phase results per benchmark")
-	opt := harness.Table1Options{Runs: runs, BaselineRuns: runs, MaxCycles: maxCycles}
+	opt := harness.Table1Options{
+		Runs: runs, BaselineRuns: runs, MaxCycles: maxCycles,
+		Parallelism: parallel, StopAfter: stopAfter,
+	}
 	var rows []harness.Table1Row
 	for _, w := range workloads.All() {
 		row, err := harness.BuildTable1Row(w, opt)
@@ -76,7 +85,7 @@ func table1(runs, maxCycles int) error {
 // imprecisionStudy reproduces Section 5.4: how many of Jigsaw's
 // potential cycles are provably false (happens-before ordered) and how
 // many the checker confirms.
-func imprecisionStudy(runs int) error {
+func imprecisionStudy(runs int, copts campaign.Options) error {
 	w, _ := workloads.ByName("jigsaw")
 	v := harness.DefaultVariant()
 	p1, err := harness.RunPhase1(w.Prog, v.Goodlock, 1, 0)
@@ -85,7 +94,7 @@ func imprecisionStudy(runs int) error {
 	}
 	confirmed := 0
 	for _, cyc := range p1.Cycles {
-		if harness.RunPhase2(w.Prog, cyc, v.Fuzzer, runs, 0).Reproduced > 0 {
+		if harness.RunPhase2Campaign(w.Prog, cyc, v.Fuzzer, runs, 0, copts).Reproduced > 0 {
 			confirmed++
 		}
 	}

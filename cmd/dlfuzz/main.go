@@ -23,15 +23,17 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "run a named built-in workload instead of a CLF file")
-		list     = flag.Bool("list", false, "list built-in workloads and exit")
-		runs     = flag.Int("runs", 100, "Phase II executions per potential cycle")
-		k        = flag.Int("k", 10, "abstraction depth")
-		abs      = flag.String("abs", "exec-index", "object abstraction: exec-index, k-object, or trivial")
-		noCtx    = flag.Bool("no-context", false, "ignore acquire contexts when pausing (variant 4)")
-		noYield  = flag.Bool("no-yields", false, "disable the yield optimization (variant 5)")
-		maxLen   = flag.Int("max-cycle-len", 0, "bound cycle length in Phase I (0 = unbounded)")
-		seed     = flag.Int64("seed", 1, "first seed for the Phase I observation run")
+		workload  = flag.String("workload", "", "run a named built-in workload instead of a CLF file")
+		list      = flag.Bool("list", false, "list built-in workloads and exit")
+		runs      = flag.Int("runs", 100, "Phase II executions per potential cycle")
+		k         = flag.Int("k", 10, "abstraction depth")
+		abs       = flag.String("abs", "exec-index", "object abstraction: exec-index, k-object, or trivial")
+		noCtx     = flag.Bool("no-context", false, "ignore acquire contexts when pausing (variant 4)")
+		noYield   = flag.Bool("no-yields", false, "disable the yield optimization (variant 5)")
+		maxLen    = flag.Int("max-cycle-len", 0, "bound cycle length in Phase I (0 = unbounded)")
+		seed      = flag.Int64("seed", 1, "first seed for the Phase I observation run")
+		parallel  = flag.Int("parallel", 0, "Phase II campaign workers (0 = all cores, 1 = serial); results are identical")
+		stopAfter = flag.Int("stop-after", 0, "stop a cycle's campaign after N reproductions (0 = run all seeds)")
 	)
 	flag.Parse()
 
@@ -61,6 +63,7 @@ func main() {
 		Confirm: dlfuzz.ConfirmOptions{
 			Abstraction: abstraction, K: *k,
 			UseContext: !*noCtx, YieldOpt: !*noYield, Runs: *runs,
+			Parallelism: *parallel, StopAfter: *stopAfter,
 		},
 	}
 

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"dlfuzz/internal/avoid"
+	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/event"
 	"dlfuzz/internal/fuzzer"
 	"dlfuzz/internal/harness"
@@ -140,6 +141,17 @@ type ConfirmOptions struct {
 	Runs int
 	// MaxSteps bounds each execution (0 = default).
 	MaxSteps int
+	// Parallelism shards the campaign's seeds across workers: 0 means
+	// one worker per core, 1 means serial. The scheduler is
+	// deterministic per seed, so the report is identical at every
+	// setting (only wall time changes). Parallel campaigns require prog
+	// to tolerate concurrent executions; workload and CLF program
+	// bodies do.
+	Parallelism int
+	// StopAfter, when positive, ends the campaign once that many runs
+	// (in seed order) have reproduced the cycle; the report's Runs
+	// field then says how many seeds actually contributed.
+	StopAfter int
 }
 
 // DefaultConfirmOptions returns the paper's variant 2 with 100 runs.
@@ -152,12 +164,18 @@ func DefaultConfirmOptions() ConfirmOptions {
 
 // ConfirmReport summarizes a Phase II campaign against one cycle.
 type ConfirmReport struct {
-	// Runs is the number of executions performed.
+	// Runs is the number of executions that contributed to the report:
+	// Runs from the options, or fewer when StopAfter ended the
+	// campaign early.
 	Runs int
 	// Reproduced counts runs whose confirmed deadlock matched the
 	// target cycle; Deadlocked counts runs that hit any real deadlock.
 	Reproduced int
 	Deadlocked int
+	// Thrashes, Yields and Steps are totals across all runs.
+	Thrashes int
+	Yields   int
+	Steps    int
 	// AvgThrashes is the mean thrash count per run.
 	AvgThrashes float64
 	// Example is a witness deadlock from the first reproducing run
@@ -177,6 +195,8 @@ func (r *ConfirmReport) Probability() float64 {
 }
 
 // Confirm runs the active random checker against one potential cycle.
+// The campaign is sharded across workers per opts.Parallelism; see
+// internal/campaign for why the report is identical at any setting.
 func Confirm(prog func(*Ctx), cycle *Cycle, opts ConfirmOptions) *ConfirmReport {
 	if opts.Runs == 0 {
 		opts.Runs = 100
@@ -187,22 +207,22 @@ func Confirm(prog func(*Ctx), cycle *Cycle, opts ConfirmOptions) *ConfirmReport 
 		UseContext:  opts.UseContext,
 		YieldOpt:    opts.YieldOpt,
 	}
-	out := &ConfirmReport{Runs: opts.Runs}
-	var thrashes int
-	for seed := 0; seed < opts.Runs; seed++ {
-		r := fuzzer.Run(prog, cycle, cfg, int64(seed), opts.MaxSteps)
-		if r.Result.Outcome == sched.Deadlock {
-			out.Deadlocked++
-		}
-		if r.Reproduced {
-			out.Reproduced++
-			if out.Example == nil {
-				out.Example = r.Result.Deadlock
-			}
-		}
-		thrashes += r.Stats.Thrashes
+	sum := campaign.Confirm(prog, cycle, cfg, opts.Runs, opts.MaxSteps, campaign.Options{
+		Parallelism: opts.Parallelism,
+		StopAfter:   opts.StopAfter,
+	})
+	out := &ConfirmReport{
+		Runs:       sum.Runs,
+		Reproduced: sum.Reproduced,
+		Deadlocked: sum.Deadlocked,
+		Thrashes:   sum.Thrashes,
+		Yields:     sum.Yields,
+		Steps:      sum.Steps,
+		Example:    sum.Example,
 	}
-	out.AvgThrashes = float64(thrashes) / float64(opts.Runs)
+	if sum.Runs > 0 {
+		out.AvgThrashes = float64(sum.Thrashes) / float64(sum.Runs)
+	}
 	return out
 }
 

@@ -1,0 +1,251 @@
+// Package campaign is the parallel deterministic campaign engine behind
+// every multi-seed experiment: Phase II reproduction campaigns,
+// uninstrumented baselines, and the Figure 2 sweeps.
+//
+// Phase II of the paper is embarrassingly parallel — each of the (say)
+// 100 seeded executions against a candidate cycle is independent of the
+// others — and the cooperative scheduler makes every execution a pure
+// function of (program, policy, seed). The engine exploits both facts:
+// seeds are sharded across a worker pool, each worker runs whole seeded
+// executions, and the per-seed results are merged on a single goroutine
+// in strict ascending seed order. Because the merge order is the serial
+// order, every aggregate a campaign produces is identical to what the
+// old serial loops produced, at any Parallelism setting.
+//
+// Early stop (Options.StopAfter) is defined in seed order too: the
+// campaign ends after the N-th hit among consumed seeds, so the set of
+// seeds that contribute to the aggregate — and therefore the aggregate
+// itself — is deterministic. Workers may speculatively execute a few
+// seeds past the stop point; those results are discarded, trading a
+// little wasted work for determinism.
+//
+// The one obligation on callers: the program body handed to a parallel
+// campaign must tolerate concurrent executions. Workload progs and CLF
+// interpreter bodies do (each execution gets a fresh scheduler and
+// heap); a prog that writes to a shared buffer does not — run it with
+// Parallelism 1 or give it a concurrency-safe writer.
+package campaign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dlfuzz/internal/fuzzer"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/sched"
+)
+
+// Options sizes and bounds one campaign.
+type Options struct {
+	// Parallelism is the number of worker goroutines running seeded
+	// executions: 0 means one per available core (GOMAXPROCS), 1 means
+	// serial on the calling goroutine. The merged results are identical
+	// at every setting.
+	Parallelism int
+	// StopAfter, when positive, ends the campaign once that many hits
+	// (as judged by the run's hit predicate, e.g. "reproduced the
+	// target cycle") have been consumed in seed order. The campaign
+	// then reports how many seeds actually contributed.
+	StopAfter int
+}
+
+// workers resolves Parallelism against the machine and the campaign
+// size.
+func (o Options) workers(runs int) int {
+	n := o.Parallelism
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > runs {
+		n = runs
+	}
+	return n
+}
+
+// Run executes exec(seed) for seeds 0..runs-1 and feeds each result to
+// consume in strict ascending seed order, exactly as a serial loop
+// would. hit classifies a result for StopAfter (nil means nothing is a
+// hit). Run returns the number of seeds consumed: runs itself, or less
+// when StopAfter ended the campaign early.
+//
+// exec may be called from multiple goroutines concurrently; consume and
+// hit are always called from the caller's goroutine, one seed at a
+// time.
+func Run[T any](runs int, opts Options, exec func(seed int) T, hit func(T) bool, consume func(seed int, v T)) int {
+	if runs <= 0 {
+		return 0
+	}
+	if opts.workers(runs) <= 1 {
+		return runSerial(runs, opts, exec, hit, consume)
+	}
+	return runParallel(runs, opts, exec, hit, consume)
+}
+
+// runSerial is the Parallelism=1 path: the plain loop the engine
+// replaced, kept as both the degenerate case and the reference the
+// determinism tests compare against.
+func runSerial[T any](runs int, opts Options, exec func(seed int) T, hit func(T) bool, consume func(seed int, v T)) int {
+	hits := 0
+	for seed := 0; seed < runs; seed++ {
+		v := exec(seed)
+		consume(seed, v)
+		if hit != nil && hit(v) {
+			hits++
+			if opts.StopAfter > 0 && hits >= opts.StopAfter {
+				return seed + 1
+			}
+		}
+	}
+	return runs
+}
+
+// runParallel shards seeds across a worker pool. Workers claim seeds
+// from an atomic counter and ship (seed, result) pairs to the caller's
+// goroutine, which reorders them into ascending seed order before
+// consuming — the reorder buffer holds at most one in-flight result per
+// worker.
+func runParallel[T any](runs int, opts Options, exec func(seed int) T, hit func(T) bool, consume func(seed int, v T)) int {
+	type item struct {
+		seed int
+		v    T
+	}
+	workers := opts.workers(runs)
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	results := make(chan item, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				seed := int(next.Add(1)) - 1
+				if seed >= runs {
+					return
+				}
+				results <- item{seed, exec(seed)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	pending := make(map[int]T, workers)
+	consumed, hits := 0, 0
+	stopped := false
+	for it := range results {
+		if stopped {
+			continue // drain speculative work past the stop point
+		}
+		pending[it.seed] = it.v
+		for {
+			v, ok := pending[consumed]
+			if !ok {
+				break
+			}
+			delete(pending, consumed)
+			consume(consumed, v)
+			consumed++
+			if hit != nil && hit(v) {
+				hits++
+				if opts.StopAfter > 0 && hits >= opts.StopAfter {
+					stopped = true
+					stop.Store(true)
+					break
+				}
+			}
+		}
+	}
+	return consumed
+}
+
+// Summary is the merged outcome of a Phase II reproduction campaign:
+// the active checker run once per seed against one target cycle. It
+// carries every total the serial loops used to track, so both
+// harness.Phase2Summary and the public ConfirmReport are projections of
+// it.
+type Summary struct {
+	// Runs is the number of seeds that contributed (all of them unless
+	// StopAfter ended the campaign early).
+	Runs int
+	// Deadlocked counts runs that confirmed any real deadlock;
+	// Reproduced counts those whose deadlock matched the target cycle.
+	Deadlocked int
+	Reproduced int
+	// Thrashes, Yields and Steps are totals across contributing runs.
+	Thrashes int
+	Yields   int
+	Steps    int
+	// Example is the witness deadlock of the first reproducing seed (in
+	// seed order; nil if none reproduced).
+	Example *sched.DeadlockInfo
+}
+
+// Confirm runs the active checker over seeds 0..runs-1 against cycle
+// and merges the results. StopAfter counts reproductions.
+func Confirm(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Config, runs, maxSteps int, opts Options) *Summary {
+	return ConfirmEach(prog, cycle, cfg, runs, maxSteps, opts, nil)
+}
+
+// ConfirmEach is Confirm with a per-run hook: each is invoked in seed
+// order with every contributing run's full result, for experiments that
+// need per-run observations (e.g. the Figure 2 thrash/reproduction
+// correlation). each may be nil.
+func ConfirmEach(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Config, runs, maxSteps int, opts Options, each func(seed int, r *fuzzer.RunResult)) *Summary {
+	sum := &Summary{}
+	sum.Runs = Run(runs, opts,
+		func(seed int) *fuzzer.RunResult {
+			return fuzzer.Run(prog, cycle, cfg, int64(seed), maxSteps)
+		},
+		func(r *fuzzer.RunResult) bool { return r.Reproduced },
+		func(seed int, r *fuzzer.RunResult) {
+			if r.Result.Outcome == sched.Deadlock {
+				sum.Deadlocked++
+			}
+			if r.Reproduced {
+				sum.Reproduced++
+				if sum.Example == nil {
+					sum.Example = r.Result.Deadlock
+				}
+			}
+			sum.Thrashes += r.Stats.Thrashes
+			sum.Yields += r.Stats.Yields
+			sum.Steps += r.Result.Steps
+			if each != nil {
+				each(seed, r)
+			}
+		})
+	return sum
+}
+
+// BaselineSummary is the merged outcome of an uninstrumented control
+// campaign: the program under the plain random scheduler, one run per
+// seed, no biasing.
+type BaselineSummary struct {
+	Runs       int
+	Deadlocked int
+	Steps      int
+}
+
+// Baseline runs the plain random scheduler over seeds 0..runs-1.
+// StopAfter counts deadlocked runs.
+func Baseline(prog func(*sched.Ctx), runs, maxSteps int, opts Options) *BaselineSummary {
+	sum := &BaselineSummary{}
+	sum.Runs = Run(runs, opts,
+		func(seed int) *sched.Result {
+			return sched.New(sched.Options{Seed: int64(seed), MaxSteps: maxSteps}).Run(prog)
+		},
+		func(r *sched.Result) bool { return r.Outcome == sched.Deadlock },
+		func(_ int, r *sched.Result) {
+			if r.Outcome == sched.Deadlock {
+				sum.Deadlocked++
+			}
+			sum.Steps += r.Steps
+		})
+	return sum
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"time"
 
+	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/fuzzer"
 	"dlfuzz/internal/workloads"
 )
@@ -48,6 +49,13 @@ type Table1Options struct {
 	// MaxCycles caps how many cycles get a reproduction campaign
 	// (0 = all); useful to keep test-suite time bounded.
 	MaxCycles int
+	// Parallelism is the campaign worker count (0 = all cores, 1 =
+	// serial); the row's counters are identical at every setting.
+	Parallelism int
+	// StopAfter ends each cycle's campaign after that many
+	// reproductions (0 = run every seed). Early-stopped campaigns
+	// report probabilities over the seeds that actually ran.
+	StopAfter int
 }
 
 // DefaultTable1Options mirrors the paper's setup.
@@ -64,10 +72,14 @@ func BuildTable1Row(w workloads.Workload, opt Table1Options) (Table1Row, error) 
 		opt.BaselineRuns = opt.Runs
 	}
 	v := DefaultVariant()
+	copts := campaign.Options{Parallelism: opt.Parallelism, StopAfter: opt.StopAfter}
 
 	row := Table1Row{Name: w.Name, PaperLoC: w.PaperLoC}
 
-	base := RunBaseline(w.Prog, opt.BaselineRuns, opt.MaxSteps)
+	// The baseline control always runs every seed; StopAfter only
+	// bounds the per-cycle reproduction campaigns.
+	base := RunBaselineCampaign(w.Prog, opt.BaselineRuns, opt.MaxSteps,
+		campaign.Options{Parallelism: opt.Parallelism})
 	row.NormalMs = float64(base.Elapsed.Microseconds()) / float64(base.Runs) / 1000
 	row.NormalSteps = base.AvgSteps()
 	row.BaselineDeadlocks = base.Deadlocked
@@ -89,7 +101,7 @@ func BuildTable1Row(w workloads.Workload, opt Table1Options) (Table1Row, error) 
 	var p2Time time.Duration
 	var p2Runs int
 	for _, cyc := range cycles {
-		sum := RunPhase2(w.Prog, cyc, v.Fuzzer, opt.Runs, opt.MaxSteps)
+		sum := RunPhase2Campaign(w.Prog, cyc, v.Fuzzer, opt.Runs, opt.MaxSteps, copts)
 		if sum.Reproduced > 0 {
 			row.Confirmed++
 		}
@@ -141,11 +153,11 @@ func Figure2Benchmarks() []workloads.Workload {
 
 // BuildFigure2 measures every (benchmark, variant) pair. runs is the
 // Phase II campaign size per cycle; maxCycles caps cycles per benchmark
-// (0 = all).
-func BuildFigure2(runs, maxCycles, maxSteps int) ([]Figure2Point, error) {
+// (0 = all); opts sizes the campaign worker pool.
+func BuildFigure2(runs, maxCycles, maxSteps int, opts campaign.Options) ([]Figure2Point, error) {
 	var out []Figure2Point
 	for _, w := range Figure2Benchmarks() {
-		base := RunBaseline(w.Prog, 10, maxSteps)
+		base := RunBaselineCampaign(w.Prog, 10, maxSteps, opts)
 		for _, v := range Variants() {
 			p1, err := RunPhase1(w.Prog, v.Goodlock, 1, maxSteps)
 			if err != nil {
@@ -158,7 +170,7 @@ func BuildFigure2(runs, maxCycles, maxSteps int) ([]Figure2Point, error) {
 			pt := Figure2Point{Benchmark: w.Name, Variant: v.Name}
 			var steps float64
 			for _, cyc := range cycles {
-				sum := RunPhase2(w.Prog, cyc, v.Fuzzer, runs, maxSteps)
+				sum := RunPhase2Campaign(w.Prog, cyc, v.Fuzzer, runs, maxSteps, opts)
 				pt.Probability += sum.Probability()
 				pt.AvgThrashes += sum.AvgThrashes()
 				steps += sum.AvgSteps()
@@ -190,7 +202,7 @@ type CorrelationPoint struct {
 // barely ever thrashes, so the thrash axis only has support when coarse
 // abstractions and missing contexts are in the mix — which is exactly
 // the paper's point about why those runs fail.
-func BuildCorrelation(runs, maxCycles, maxSteps int) ([]CorrelationPoint, error) {
+func BuildCorrelation(runs, maxCycles, maxSteps int, opts campaign.Options) ([]CorrelationPoint, error) {
 	var out []CorrelationPoint
 	for _, w := range Figure2Benchmarks() {
 		for _, v := range Variants() {
@@ -203,13 +215,15 @@ func BuildCorrelation(runs, maxCycles, maxSteps int) ([]CorrelationPoint, error)
 				cycles = cycles[:maxCycles]
 			}
 			for _, cyc := range cycles {
-				for seed := 0; seed < runs; seed++ {
-					r := fuzzer.Run(w.Prog, cyc, v.Fuzzer, int64(seed), maxSteps)
-					out = append(out, CorrelationPoint{
-						Thrashes:   r.Stats.Thrashes,
-						Reproduced: r.Reproduced,
+				// The per-run hook fires in seed order, so the point
+				// list is identical at every parallelism.
+				campaign.ConfirmEach(w.Prog, cyc, v.Fuzzer, runs, maxSteps, opts,
+					func(_ int, r *fuzzer.RunResult) {
+						out = append(out, CorrelationPoint{
+							Thrashes:   r.Stats.Thrashes,
+							Reproduced: r.Reproduced,
+						})
 					})
-				}
 			}
 		}
 	}

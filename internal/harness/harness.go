@@ -7,6 +7,7 @@ import (
 	"errors"
 	"time"
 
+	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/fuzzer"
 	"dlfuzz/internal/hb"
 	"dlfuzz/internal/igoodlock"
@@ -116,24 +117,30 @@ func (p *Phase2Summary) AvgSteps() float64 {
 	return float64(p.Steps) / float64(p.Runs)
 }
 
-// RunPhase2 runs the active checker `runs` times against cycle.
+// RunPhase2 runs the active checker `runs` times against cycle, sharded
+// across all cores (the aggregate is identical to a serial campaign;
+// see internal/campaign).
 func RunPhase2(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Config, runs, maxSteps int) *Phase2Summary {
+	return RunPhase2Campaign(prog, cycle, cfg, runs, maxSteps, campaign.Options{})
+}
+
+// RunPhase2Campaign is RunPhase2 with explicit campaign sizing: opts
+// selects the worker count and an optional early stop after N
+// reproductions. Runs in the summary is the number of seeds that
+// contributed, which StopAfter can make smaller than runs.
+func RunPhase2Campaign(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Config, runs, maxSteps int, opts campaign.Options) *Phase2Summary {
 	start := time.Now()
-	out := &Phase2Summary{Cycle: cycle, Runs: runs}
-	for seed := 0; seed < runs; seed++ {
-		r := fuzzer.Run(prog, cycle, cfg, int64(seed), maxSteps)
-		if r.Result.Outcome == sched.Deadlock {
-			out.Deadlocked++
-		}
-		if r.Reproduced {
-			out.Reproduced++
-		}
-		out.Thrashes += r.Stats.Thrashes
-		out.Yields += r.Stats.Yields
-		out.Steps += r.Result.Steps
+	sum := campaign.Confirm(prog, cycle, cfg, runs, maxSteps, opts)
+	return &Phase2Summary{
+		Cycle:      cycle,
+		Runs:       sum.Runs,
+		Deadlocked: sum.Deadlocked,
+		Reproduced: sum.Reproduced,
+		Thrashes:   sum.Thrashes,
+		Yields:     sum.Yields,
+		Steps:      sum.Steps,
+		Elapsed:    time.Since(start),
 	}
-	out.Elapsed = time.Since(start)
-	return out
 }
 
 // Baseline is the uninstrumented control: the program under the plain
@@ -155,20 +162,23 @@ func (b *Baseline) AvgSteps() float64 {
 
 // RunBaseline executes the program `runs` times under Algorithm 2,
 // counting how often normal testing stumbles into a deadlock (the
-// paper's 100-run control that never deadlocked).
+// paper's 100-run control that never deadlocked). Runs are sharded
+// across all cores.
 func RunBaseline(prog func(*sched.Ctx), runs, maxSteps int) *Baseline {
+	return RunBaselineCampaign(prog, runs, maxSteps, campaign.Options{})
+}
+
+// RunBaselineCampaign is RunBaseline with explicit campaign sizing;
+// StopAfter ends the control early after N deadlocked runs.
+func RunBaselineCampaign(prog func(*sched.Ctx), runs, maxSteps int, opts campaign.Options) *Baseline {
 	start := time.Now()
-	out := &Baseline{Runs: runs}
-	for seed := 0; seed < runs; seed++ {
-		s := sched.New(sched.Options{Seed: int64(seed), MaxSteps: maxSteps})
-		res := s.Run(prog)
-		if res.Outcome == sched.Deadlock {
-			out.Deadlocked++
-		}
-		out.Steps += res.Steps
+	sum := campaign.Baseline(prog, runs, maxSteps, opts)
+	return &Baseline{
+		Runs:       sum.Runs,
+		Deadlocked: sum.Deadlocked,
+		Steps:      sum.Steps,
+		Elapsed:    time.Since(start),
 	}
-	out.Elapsed = time.Since(start)
-	return out
 }
 
 // Variant is one of the five DeadlockFuzzer configurations compared in

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/object"
 	"dlfuzz/internal/sched"
 	"dlfuzz/internal/workloads"
@@ -190,7 +191,7 @@ func TestBuildFigure2Small(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full variant sweep")
 	}
-	points, err := BuildFigure2(3, 2, 0)
+	points, err := BuildFigure2(3, 2, 0, campaign.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestBuildCorrelationSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("correlation sweep")
 	}
-	points, err := BuildCorrelation(2, 2, 0)
+	points, err := BuildCorrelation(2, 2, 0, campaign.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

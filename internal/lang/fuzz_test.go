@@ -1,0 +1,120 @@
+package lang
+
+// Native Go fuzz targets for the CLF front end, seeded with every
+// program under testdata/. The invariants the targets lock in:
+//
+//   - neither the lexer nor the parser panics on any input;
+//   - every token carries a valid, non-decreasing source position
+//     inside the input (positions become statement labels, so a bogus
+//     one would corrupt cycle identification downstream);
+//   - Parse either succeeds with a resolvable program that has a main
+//     function, or fails with a positioned *Error naming the file.
+//
+// scripts/ci.sh runs FuzzParser for a short smoke window on every CI
+// pass; longer runs (`go test -fuzz=FuzzParser ./internal/lang/`)
+// explore further from the same corpus.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedCorpus adds every testdata CLF program to the fuzz corpus.
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.clf"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(files) == 0 {
+		f.Fatal("no testdata/*.clf seed programs found")
+	}
+	for _, fn := range files {
+		src, err := os.ReadFile(fn)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	// Hand-picked slivers that steer the fuzzer toward the tricky
+	// lexer states: comments, escapes, two-rune operators.
+	f.Add(`/* unterminated`)
+	f.Add(`"esc \n \t \" \\"`)
+	f.Add(`a && b || c <= d != e`)
+	f.Add("fn main() { var x = 1; }")
+}
+
+// checkError asserts a front-end failure is well-formed: a positioned
+// *Error attributing a non-empty message to the named file.
+func checkError(t *testing.T, err error, file string) {
+	t.Helper()
+	le, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("front end returned %T (%v), want *lang.Error", err, err)
+	}
+	if le.Msg == "" {
+		t.Fatal("error with empty message")
+	}
+	if le.Pos.File != file || le.Pos.Line < 1 || le.Pos.Col < 1 {
+		t.Fatalf("error position %v is not a valid position in %s", le.Pos, file)
+	}
+	if !strings.HasPrefix(err.Error(), file+":") {
+		t.Fatalf("error %q does not lead with its position", err.Error())
+	}
+}
+
+func FuzzLexer(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Lex("fuzz.clf", src)
+		if err != nil {
+			checkError(t, err, "fuzz.clf")
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("token stream does not end in EOF (%d tokens)", len(toks))
+		}
+		lines := strings.Count(src, "\n") + 1
+		prev := Pos{Line: 1, Col: 1}
+		for i, tok := range toks {
+			p := tok.Pos
+			if p.File != "fuzz.clf" || p.Line < 1 || p.Col < 1 {
+				t.Fatalf("token %d has invalid position %v", i, p)
+			}
+			if p.Line > lines {
+				t.Fatalf("token %d position %v past the %d-line input", i, p, lines)
+			}
+			if p.Line < prev.Line || (p.Line == prev.Line && p.Col < prev.Col) {
+				t.Fatalf("token %d position %v went backwards from %v", i, p, prev)
+			}
+			prev = p
+		}
+	})
+}
+
+func FuzzParser(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse("fuzz.clf", src)
+		if err != nil {
+			if prog != nil {
+				t.Fatal("Parse returned both a program and an error")
+			}
+			checkError(t, err, "fuzz.clf")
+			return
+		}
+		if prog == nil {
+			t.Fatal("Parse returned neither program nor error")
+		}
+		// A successful parse resolved: main exists and the program
+		// survives a second resolve pass (resolution is idempotent).
+		if _, ok := prog.Func("main"); !ok {
+			t.Fatal("parsed program has no main")
+		}
+		if err := Resolve(prog); err != nil {
+			t.Fatalf("re-resolving a parsed program failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 CI for dlfuzz, also available as `make ci`:
+#
+#   1. go vet            — static checks
+#   2. go build          — every package compiles
+#   3. go test           — the full suite (runs campaigns through the
+#                          parallel engine by default)
+#   4. go test -race     — the concurrent campaign engine and the
+#                          harness built on it must be race-clean
+#   5. fuzz smoke        — FuzzParser explores for a few seconds from
+#                          the testdata-seeded corpus
+#
+# FUZZTIME overrides the smoke window (default 10s).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
+
+echo "== go vet ./... =="
+go vet ./...
+
+echo "== go build ./... =="
+go build ./...
+
+echo "== go test ./... =="
+go test ./...
+
+echo "== go test -race (campaign engine + harness) =="
+go test -race ./internal/campaign/ ./internal/harness/
+
+echo "== fuzz smoke: FuzzParser for ${FUZZTIME} =="
+go test -run=Fuzz -fuzz=FuzzParser -fuzztime="${FUZZTIME}" ./internal/lang/
+
+echo "CI OK"
