@@ -18,11 +18,13 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/campaign/ ./internal/harness/
+	$(GO) test -race ./internal/analysis/ ./internal/campaign/ ./internal/harness/
 
-# Serial-vs-parallel campaign scaling on the CLF programs.
+# Serial-vs-parallel campaign scaling on the CLF programs, plus the
+# machine-readable pipeline cost benchmark (BENCH_pipeline.json).
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkConfirmCampaign -benchtime=20x .
+	$(GO) run ./cmd/dlbench -pipeline-json BENCH_pipeline.json -runs 100
 
 fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzParser -fuzztime=10s ./internal/lang/

@@ -12,10 +12,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"dlfuzz"
 	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/harness"
 	"dlfuzz/internal/report"
@@ -24,16 +27,24 @@ import (
 
 func main() {
 	var (
-		table       = flag.String("table", "", "regenerate one table (\"1\")")
-		fig         = flag.String("fig", "", "regenerate one figure graph (\"2a\", \"2b\", \"2c\", \"2d\")")
-		imprecision = flag.Bool("imprecision", false, "run the Section 5.4 imprecision study on Jigsaw")
-		runs        = flag.Int("runs", 100, "Phase II executions per cycle")
-		maxCycles   = flag.Int("max-cycles", 0, "cap cycles per benchmark (0 = all)")
-		parallel    = flag.Int("parallel", 0, "campaign workers (0 = all cores, 1 = serial); results are identical")
-		stopAfter   = flag.Int("stop-after", 0, "stop each cycle's campaign after N reproductions (0 = run all seeds)")
+		table        = flag.String("table", "", "regenerate one table (\"1\")")
+		fig          = flag.String("fig", "", "regenerate one figure graph (\"2a\", \"2b\", \"2c\", \"2d\")")
+		imprecision  = flag.Bool("imprecision", false, "run the Section 5.4 imprecision study on Jigsaw")
+		pipelineJSON = flag.String("pipeline-json", "", "write a machine-readable Check benchmark over the Figure-2 workloads to this file and exit")
+		runs         = flag.Int("runs", 100, "Phase II execution budget per workload (shared across its cycles)")
+		maxCycles    = flag.Int("max-cycles", 0, "cap cycles per benchmark (0 = all)")
+		parallel     = flag.Int("parallel", 0, "campaign workers (0 = all cores, 1 = serial); results are identical")
+		stopAfter    = flag.Int("stop-after", 0, "stop each campaign after N targeted reproductions (0 = run all seeds)")
 	)
 	flag.Parse()
 	copts := campaign.Options{Parallelism: *parallel, StopAfter: *stopAfter}
+
+	if *pipelineJSON != "" {
+		if err := pipelineBench(*pipelineJSON, *runs, *parallel); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	all := *table == "" && *fig == "" && !*imprecision
 	if *table == "1" || all {
@@ -92,12 +103,10 @@ func imprecisionStudy(runs int, copts campaign.Options) error {
 	if err != nil {
 		return err
 	}
-	confirmed := 0
-	for _, cyc := range p1.Cycles {
-		if harness.RunPhase2Campaign(w.Prog, cyc, v.Fuzzer, runs, 0, copts).Reproduced > 0 {
-			confirmed++
-		}
-	}
+	// One multi-cycle campaign covers all of Jigsaw's candidates with a
+	// runs-per-cycle budget equivalent to the old per-cycle loop.
+	multi := harness.RunPhase2Multi(w.Prog, p1.Cycles, v.Fuzzer, runs*len(p1.Cycles), 0, copts)
+	confirmed := len(multi.Confirmed())
 	total := len(p1.Cycles) + len(p1.FalsePositives)
 	fmt.Println("Section 5.4: iGoodlock imprecision on Jigsaw")
 	fmt.Printf("  potential cycles reported:        %d\n", total)
@@ -106,6 +115,63 @@ func imprecisionStudy(runs int, copts campaign.Options) error {
 	fmt.Printf("  undetermined:                     %d\n", total-confirmed-len(p1.FalsePositives))
 	fmt.Println("  (paper: 283 reported, 29 confirmed, 18 provably false, rest undetermined)")
 	return nil
+}
+
+// pipelineRow is one workload's entry in BENCH_pipeline.json.
+type pipelineRow struct {
+	Workload   string `json:"workload"`
+	Cycles     int    `json:"cycles"`
+	Confirmed  int    `json:"confirmed"`
+	Executions int    `json:"executions"`
+	Steps      int    `json:"steps"`
+	WallMs     int64  `json:"wallMs"`
+}
+
+// pipelineBench runs the full Check pipeline on the Figure-2 workloads
+// and writes a machine-readable benchmark file, so the cost of the
+// multi-cycle campaign (executions, steps, wall time) is tracked across
+// revisions. Executions and Steps are deterministic for a fixed runs
+// value; WallMs is the only machine-dependent column.
+func pipelineBench(path string, runs, parallel int) error {
+	type doc struct {
+		Runs        int           `json:"runs"`
+		Parallelism int           `json:"parallelism"`
+		Workloads   []pipelineRow `json:"workloads"`
+	}
+	out := doc{Runs: runs, Parallelism: parallel}
+	for _, w := range harness.Figure2Benchmarks() {
+		opts := dlfuzz.DefaultCheckOptions()
+		opts.Confirm.Runs = runs
+		opts.Confirm.Parallelism = parallel
+		start := time.Now()
+		rep, err := dlfuzz.Check(w.Prog, opts)
+		if err != nil {
+			return fmt.Errorf("pipeline bench %s: %w", w.Name, err)
+		}
+		row := pipelineRow{
+			Workload:   w.Name,
+			Cycles:     len(rep.Cycles),
+			Confirmed:  len(rep.Confirmed()),
+			Executions: rep.Executions,
+			WallMs:     time.Since(start).Milliseconds(),
+		}
+		for _, c := range rep.Cycles {
+			row.Steps += c.Confirm.Steps
+		}
+		out.Workloads = append(out.Workloads, row)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
 }
 
 func fail(err error) {

@@ -8,13 +8,16 @@
 //	dlfuzz [flags] -workload jigsaw
 //	dlfuzz -list
 //
-// Flags select the variant (abstraction, context, yields) and the number
-// of Phase II runs per cycle.
+// Flags select the variant (abstraction, context, yields) and the total
+// Phase II execution budget. Phase II is one multi-cycle campaign: the
+// budget is shared across all candidate cycles, and every confirmed
+// deadlock is credited to every cycle it matches.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dlfuzz"
@@ -22,38 +25,49 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable args and streams, so the CLI's output is
+// testable end to end. The exit code follows test-runner convention:
+// 0 clean, 1 deadlocks found, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dlfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workload  = flag.String("workload", "", "run a named built-in workload instead of a CLF file")
-		list      = flag.Bool("list", false, "list built-in workloads and exit")
-		runs      = flag.Int("runs", 100, "Phase II executions per potential cycle")
-		k         = flag.Int("k", 10, "abstraction depth")
-		abs       = flag.String("abs", "exec-index", "object abstraction: exec-index, k-object, or trivial")
-		noCtx     = flag.Bool("no-context", false, "ignore acquire contexts when pausing (variant 4)")
-		noYield   = flag.Bool("no-yields", false, "disable the yield optimization (variant 5)")
-		maxLen    = flag.Int("max-cycle-len", 0, "bound cycle length in Phase I (0 = unbounded)")
-		seed      = flag.Int64("seed", 1, "first seed for the Phase I observation run")
-		parallel  = flag.Int("parallel", 0, "Phase II campaign workers (0 = all cores, 1 = serial); results are identical")
-		stopAfter = flag.Int("stop-after", 0, "stop a cycle's campaign after N reproductions (0 = run all seeds)")
+		workload  = fs.String("workload", "", "run a named built-in workload instead of a CLF file")
+		list      = fs.Bool("list", false, "list built-in workloads and exit")
+		runs      = fs.Int("runs", 100, "total Phase II executions, shared across all cycles")
+		k         = fs.Int("k", 10, "abstraction depth")
+		abs       = fs.String("abs", "exec-index", "object abstraction: exec-index, k-object, or trivial")
+		noCtx     = fs.Bool("no-context", false, "ignore acquire contexts when pausing (variant 4)")
+		noYield   = fs.Bool("no-yields", false, "disable the yield optimization (variant 5)")
+		maxLen    = fs.Int("max-cycle-len", 0, "bound cycle length in Phase I (0 = unbounded)")
+		seed      = fs.Int64("seed", 1, "first seed for the Phase I observation run")
+		parallel  = fs.Int("parallel", 0, "Phase II campaign workers (0 = all cores, 1 = serial); results are identical")
+		stopAfter = fs.Int("stop-after", 0, "stop the campaign after N targeted reproductions (0 = run all seeds)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
-			fmt.Printf("%-10s %s\n", w.Name, w.Desc)
+			fmt.Fprintf(stdout, "%-10s %s\n", w.Name, w.Desc)
 		}
-		return
+		return 0
 	}
 
-	prog, name, err := resolveProgram(*workload, flag.Args())
+	prog, name, err := resolveProgram(*workload, fs.Args(), stdout)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dlfuzz:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dlfuzz:", err)
+		return 2
 	}
 
 	abstraction, err := parseAbstraction(*abs)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dlfuzz:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "dlfuzz:", err)
+		return 2
 	}
 
 	opts := dlfuzz.CheckOptions{
@@ -67,55 +81,85 @@ func main() {
 		},
 	}
 
-	fmt.Printf("== %s: Phase I (iGoodlock) ==\n", name)
+	fmt.Fprintf(stdout, "== %s: Phase I (iGoodlock) ==\n", name)
 	find, err := dlfuzz.Find(prog, opts.Find)
+	printObserved(stdout, find)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dlfuzz:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "dlfuzz:", err)
+		if len(find.ObservedDeadlocks) > 0 {
+			return 1 // prediction failed, but deadlocks were witnessed
+		}
+		return 2
 	}
-	fmt.Printf("dependency relation: %d entries (observation seed %d)\n", find.Deps, find.Seed)
-	fmt.Printf("potential deadlock cycles: %d (+%d provably false by happens-before)\n",
+	fmt.Fprintf(stdout, "dependency relation: %d entries (observation seed %d)\n", find.Deps, find.Seed)
+	fmt.Fprintf(stdout, "potential deadlock cycles: %d (+%d provably false by happens-before)\n",
 		len(find.Cycles), len(find.FalsePositives))
 	for i, cyc := range find.Cycles {
-		fmt.Printf("  cycle %d: %s\n", i+1, cyc)
+		fmt.Fprintf(stdout, "  cycle %d: %s\n", i+1, cyc)
 	}
 	for i, cyc := range find.FalsePositives {
-		fmt.Printf("  false positive %d: %s\n", i+1, cyc)
+		fmt.Fprintf(stdout, "  false positive %d: %s\n", i+1, cyc)
 	}
 	if len(find.Cycles) == 0 {
-		fmt.Println("no plausible cycles; nothing to confirm")
-		return
+		fmt.Fprintln(stdout, "no plausible cycles; nothing to confirm")
+		if len(find.ObservedDeadlocks) > 0 {
+			return 1
+		}
+		return 0
 	}
 
-	fmt.Printf("\n== %s: Phase II (active random checker, %d runs/cycle) ==\n", name, *runs)
+	fmt.Fprintf(stdout, "\n== %s: Phase II (active random checker, %d runs across %d cycles) ==\n",
+		name, *runs, len(find.Cycles))
+	multi := dlfuzz.ConfirmAll(prog, find.Cycles, opts.Confirm)
+	fmt.Fprintf(stdout, "campaign: %d executions, %d deadlocked, %d unmatched\n",
+		multi.Executions, multi.Deadlocked, multi.Unmatched)
 	confirmed := 0
-	for i, cyc := range find.Cycles {
-		rep := dlfuzz.Confirm(prog, cyc, opts.Confirm)
+	for i, rep := range multi.Reports {
 		status := "NOT CONFIRMED"
 		if rep.Confirmed() {
 			status = "REAL DEADLOCK"
 			confirmed++
 		}
-		fmt.Printf("cycle %d: %s  prob=%.2f  deadlocked=%d/%d  avg-thrash=%.2f\n",
-			i+1, status, rep.Probability(), rep.Deadlocked, rep.Runs, rep.AvgThrashes)
-		if rep.Example != nil {
-			fmt.Printf("  witness: %s\n", rep.Example)
+		fmt.Fprintf(stdout, "cycle %d: %s  prob=%.2f  deadlocked=%d/%d  avg-thrash=%.2f",
+			i+1, status, rep.Probability(), rep.Deadlocked, rep.Runs, rep.AvgThrashes())
+		if rep.CrossMatches > 0 {
+			fmt.Fprintf(stdout, "  cross-credit=%d", rep.CrossMatches)
+		}
+		fmt.Fprintln(stdout)
+		if w := rep.Witness(); w != nil {
+			fmt.Fprintf(stdout, "  witness: %s\n", w)
 		}
 	}
-	fmt.Printf("\n%d of %d potential cycles confirmed as real deadlocks\n", confirmed, len(find.Cycles))
-	if confirmed > 0 {
-		os.Exit(1) // like a test runner: deadlocks found => non-zero exit
+	fmt.Fprintf(stdout, "\n%d of %d potential cycles confirmed as real deadlocks\n", confirmed, len(find.Cycles))
+	if confirmed > 0 || len(find.ObservedDeadlocks) > 0 {
+		return 1 // like a test runner: deadlocks found => non-zero exit
+	}
+	return 0
+}
+
+// printObserved reports deadlocks hit during Phase I observation
+// attempts: real findings in their own right, even though the runs that
+// produced them contribute no prediction.
+func printObserved(w io.Writer, find *dlfuzz.FindReport) {
+	if find == nil || len(find.ObservedDeadlocks) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "observation deadlocked in %d of %d attempts before completing:\n",
+		len(find.ObservedDeadlocks), find.Attempts)
+	for _, dl := range find.ObservedDeadlocks {
+		fmt.Fprintf(w, "  observed deadlock: %s\n", dl)
 	}
 }
 
-// resolveProgram loads either a named workload or a CLF file.
-func resolveProgram(workload string, args []string) (func(*dlfuzz.Ctx), string, error) {
+// resolveProgram loads either a named workload or a CLF file; CLF
+// print() output goes to w.
+func resolveProgram(workload string, args []string, w io.Writer) (func(*dlfuzz.Ctx), string, error) {
 	if workload != "" {
-		w, ok := workloads.ByName(workload)
+		wl, ok := workloads.ByName(workload)
 		if !ok {
 			return nil, "", fmt.Errorf("unknown workload %q (try -list)", workload)
 		}
-		return w.Prog, w.Name, nil
+		return wl.Prog, wl.Name, nil
 	}
 	if len(args) != 1 {
 		return nil, "", fmt.Errorf("usage: dlfuzz [flags] program.clf | dlfuzz -workload name")
@@ -128,7 +172,7 @@ func resolveProgram(workload string, args []string) (func(*dlfuzz.Ctx), string, 
 	if err != nil {
 		return nil, "", err
 	}
-	return p.WithOutput(os.Stdout).Body(), args[0], nil
+	return p.WithOutput(w).Body(), args[0], nil
 }
 
 func parseAbstraction(s string) (dlfuzz.Abstraction, error) {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRunPhilosophersGolden locks down the CLI's end-to-end output on
+// the dining philosophers: the whole report — cycles, campaign totals,
+// per-cycle status — is deterministic for a fixed seed range, so it can
+// be compared byte-for-byte. Regenerate with `go test ./cmd/dlfuzz
+// -update` after an intentional output change.
+func TestRunPhilosophersGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-runs", "30",
+		"-parallel", "2", // byte-identity: any setting gives the golden output
+		filepath.Join("..", "..", "testdata", "philosophers.clf"),
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (deadlocks found); stderr: %s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", stderr.String())
+	}
+	golden := filepath.Join("testdata", "philosophers.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output diverged from golden file:\n--- got ---\n%s\n--- want ---\n%s", stdout.Bytes(), want)
+	}
+}
+
+// TestRunUsageErrors covers the non-analysis exit paths.
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-workload", "no-such-workload"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown workload: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-abs", "bogus", "-workload", "lists"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad abstraction: exit %d, want 2", code)
+	}
+	stdout.Reset()
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 || stdout.Len() == 0 {
+		t.Errorf("-list: exit %d, output %q", code, stdout.String())
+	}
+}

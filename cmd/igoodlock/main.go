@@ -56,6 +56,15 @@ func main() {
 	opts.MaxCycleLen = *maxLen
 	opts.Seed = *seed
 	rep, err := dlfuzz.Find(prog, opts)
+	// Deadlocks hit while trying to observe a completed run are real
+	// findings — print them whether or not prediction succeeded.
+	if len(rep.ObservedDeadlocks) > 0 {
+		fmt.Printf("%s: observation deadlocked in %d of %d attempts before completing:\n",
+			name, len(rep.ObservedDeadlocks), rep.Attempts)
+		for _, dl := range rep.ObservedDeadlocks {
+			fmt.Printf("  observed deadlock: %s\n", dl)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "igoodlock:", err)
 		os.Exit(1)

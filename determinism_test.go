@@ -120,3 +120,39 @@ func TestConfirmParallelismInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestConfirmAllParallelismInvariant extends the guarantee to
+// multi-cycle campaigns: one shared-budget campaign over all of the
+// philosophers' cycles must produce byte-identical MultiReports at
+// parallelism 1, 2 and all-cores.
+func TestConfirmAllParallelismInvariant(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "philosophers.clf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := dlfuzz.ParseCLF("philosophers.clf", string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Body()
+	find, err := dlfuzz.Find(body, dlfuzz.DefaultFindOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(find.Cycles) == 0 {
+		t.Fatal("philosophers reported no cycles")
+	}
+	opts := dlfuzz.DefaultConfirmOptions()
+	opts.Runs = 48
+	opts.Parallelism = 1
+	serial := dlfuzz.ConfirmAll(body, find.Cycles, opts)
+	if len(serial.Confirmed()) == 0 {
+		t.Fatal("no philosophers cycle confirmed")
+	}
+	for _, par := range []int{2, 0} {
+		opts.Parallelism = par
+		if got := dlfuzz.ConfirmAll(body, find.Cycles, opts); !reflect.DeepEqual(serial, got) {
+			t.Errorf("parallelism %d diverged:\nserial %+v\ngot    %+v", par, serial, got)
+		}
+	}
+}

@@ -97,13 +97,21 @@ type FindReport struct {
 	FalsePositives []*Cycle
 	// Deps is the size of the recorded lock dependency relation.
 	Deps int
-	// Seed is the seed of the observation run that completed.
+	// Seed is the seed of the observation run that completed (the last
+	// attempted seed when none did).
 	Seed int64
+	// ObservedDeadlocks are real deadlocks hit by observation attempts
+	// that did not complete — confirmed findings in their own right,
+	// reported even though those runs contribute no cycle prediction.
+	ObservedDeadlocks []*DeadlockInfo
+	// Attempts is the number of observation seeds tried.
+	Attempts int
 }
 
 // Find observes one execution of prog and reports potential deadlock
 // cycles (iGoodlock). It retries seeds until an observation run
-// completes; ErrNoCompletedRun is returned if none does.
+// completes; ErrNoCompletedRun is returned if none does, together with
+// a partial report carrying any deadlocks the attempts witnessed.
 func Find(prog func(*Ctx), opts FindOptions) (*FindReport, error) {
 	cfg := igoodlock.Config{
 		Abstraction: opts.Abstraction,
@@ -111,15 +119,14 @@ func Find(prog func(*Ctx), opts FindOptions) (*FindReport, error) {
 		MaxLen:      opts.MaxCycleLen,
 	}
 	p1, err := harness.RunPhase1(prog, cfg, opts.Seed, opts.MaxSteps)
-	if err != nil {
-		return nil, err
-	}
 	return &FindReport{
-		Cycles:         p1.Cycles,
-		FalsePositives: p1.FalsePositives,
-		Deps:           p1.Deps,
-		Seed:           p1.Seed,
-	}, nil
+		Cycles:            p1.Cycles,
+		FalsePositives:    p1.FalsePositives,
+		Deps:              p1.Deps,
+		Seed:              p1.Seed,
+		ObservedDeadlocks: p1.ObservedDeadlocks,
+		Attempts:          p1.Attempts,
+	}, err
 }
 
 // ErrNoCompletedRun is returned by Find when every attempted observation
@@ -162,36 +169,15 @@ func DefaultConfirmOptions() ConfirmOptions {
 	}
 }
 
-// ConfirmReport summarizes a Phase II campaign against one cycle.
+// ConfirmReport summarizes one cycle's slice of a Phase II campaign:
+// the embedded campaign.CycleSummary carries the run totals (Runs,
+// Reproduced, Deadlocked, Thrashes, Yields, Steps, Example), the
+// derived statistics (Probability, AvgThrashes, AvgSteps), and — for
+// multi-cycle campaigns — cross-credits (CrossMatches, CrossExample)
+// plus Confirmed and Witness. Single-cycle reports from Confirm have no
+// cross-credits, so Confirmed reduces to Reproduced > 0 there.
 type ConfirmReport struct {
-	// Runs is the number of executions that contributed to the report:
-	// Runs from the options, or fewer when StopAfter ended the
-	// campaign early.
-	Runs int
-	// Reproduced counts runs whose confirmed deadlock matched the
-	// target cycle; Deadlocked counts runs that hit any real deadlock.
-	Reproduced int
-	Deadlocked int
-	// Thrashes, Yields and Steps are totals across all runs.
-	Thrashes int
-	Yields   int
-	Steps    int
-	// AvgThrashes is the mean thrash count per run.
-	AvgThrashes float64
-	// Example is a witness deadlock from the first reproducing run
-	// (nil if none reproduced).
-	Example *DeadlockInfo
-}
-
-// Confirmed reports whether the cycle was reproduced at least once.
-func (r *ConfirmReport) Confirmed() bool { return r.Reproduced > 0 }
-
-// Probability returns the empirical reproduction probability.
-func (r *ConfirmReport) Probability() float64 {
-	if r.Runs == 0 {
-		return 0
-	}
-	return float64(r.Reproduced) / float64(r.Runs)
+	campaign.CycleSummary
 }
 
 // Confirm runs the active random checker against one potential cycle.
@@ -201,27 +187,79 @@ func Confirm(prog func(*Ctx), cycle *Cycle, opts ConfirmOptions) *ConfirmReport 
 	if opts.Runs == 0 {
 		opts.Runs = 100
 	}
-	cfg := fuzzer.Config{
-		Abstraction: opts.Abstraction,
-		K:           opts.K,
-		UseContext:  opts.UseContext,
-		YieldOpt:    opts.YieldOpt,
-	}
-	sum := campaign.Confirm(prog, cycle, cfg, opts.Runs, opts.MaxSteps, campaign.Options{
+	sum := campaign.Confirm(prog, cycle, opts.fuzzerConfig(), opts.Runs, opts.MaxSteps, campaign.Options{
 		Parallelism: opts.Parallelism,
 		StopAfter:   opts.StopAfter,
 	})
-	out := &ConfirmReport{
-		Runs:       sum.Runs,
-		Reproduced: sum.Reproduced,
+	return &ConfirmReport{CycleSummary: campaign.CycleSummary{Summary: *sum}}
+}
+
+// fuzzerConfig lowers the public options to the internal checker config.
+func (o ConfirmOptions) fuzzerConfig() fuzzer.Config {
+	return fuzzer.Config{
+		Abstraction: o.Abstraction,
+		K:           o.K,
+		UseContext:  o.UseContext,
+		YieldOpt:    o.YieldOpt,
+	}
+}
+
+// MultiReport is the outcome of one multi-cycle Phase II campaign: a
+// per-cycle ConfirmReport for every candidate plus campaign totals.
+type MultiReport struct {
+	// Reports has one entry per candidate cycle, in input order.
+	Reports []*ConfirmReport
+	// Executions is the total number of Phase II executions consumed —
+	// at most Runs + len(cycles) - 1, instead of the per-cycle path's
+	// len(cycles) × Runs.
+	Executions int
+	// Deadlocked counts executions that hit any real deadlock;
+	// Unmatched counts deadlocks that matched no candidate cycle.
+	Deadlocked int
+	Unmatched  int
+	// Thrashes, Yields and Steps are totals across all executions.
+	Thrashes int
+	Yields   int
+	Steps    int
+}
+
+// Confirmed returns the reports of the confirmed cycles, in input order.
+func (m *MultiReport) Confirmed() []*ConfirmReport {
+	var out []*ConfirmReport
+	for _, r := range m.Reports {
+		if r.Confirmed() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ConfirmAll runs one multi-cycle campaign targeting every candidate at
+// once: opts.Runs is the *total* execution budget shared across cycles
+// (each execution biases toward one cycle, round-robin in seed order),
+// and every confirmed deadlock is credited to every candidate it
+// matches — targeted matches as Reproduced, others as CrossMatches. The
+// report is byte-identical at every Parallelism setting for a fixed
+// seed range. StopAfter counts targeted reproductions across all
+// cycles.
+func ConfirmAll(prog func(*Ctx), cycles []*Cycle, opts ConfirmOptions) *MultiReport {
+	if opts.Runs == 0 {
+		opts.Runs = 100
+	}
+	sum := campaign.ConfirmCycles(prog, cycles, opts.fuzzerConfig(), opts.Runs, opts.MaxSteps, campaign.Options{
+		Parallelism: opts.Parallelism,
+		StopAfter:   opts.StopAfter,
+	})
+	out := &MultiReport{
+		Executions: sum.Executions,
 		Deadlocked: sum.Deadlocked,
+		Unmatched:  sum.Unmatched,
 		Thrashes:   sum.Thrashes,
 		Yields:     sum.Yields,
 		Steps:      sum.Steps,
-		Example:    sum.Example,
 	}
-	if sum.Runs > 0 {
-		out.AvgThrashes = float64(sum.Thrashes) / float64(sum.Runs)
+	for i := range sum.Cycles {
+		out.Reports = append(out.Reports, &ConfirmReport{CycleSummary: sum.Cycles[i]})
 	}
 	return out
 }
@@ -237,7 +275,8 @@ func DefaultCheckOptions() CheckOptions {
 	return CheckOptions{Find: DefaultFindOptions(), Confirm: DefaultConfirmOptions()}
 }
 
-// CheckedCycle pairs a potential cycle with its confirmation campaign.
+// CheckedCycle pairs a potential cycle with its slice of the
+// confirmation campaign.
 type CheckedCycle struct {
 	Cycle   *Cycle
 	Confirm *ConfirmReport
@@ -247,9 +286,17 @@ type CheckedCycle struct {
 type CheckReport struct {
 	Find   *FindReport
 	Cycles []CheckedCycle
+	// Executions is the total number of Phase II executions the check
+	// cost (≤ Runs + len(Cycles) - 1; the campaign budget is shared
+	// across cycles, not multiplied by them).
+	Executions int
+	// Unmatched counts Phase II deadlocks that matched no candidate
+	// cycle.
+	Unmatched int
 }
 
-// Confirmed returns the cycles Phase II reproduced.
+// Confirmed returns the cycles Phase II confirmed (by targeted
+// reproduction or cross-credit).
 func (r *CheckReport) Confirmed() []CheckedCycle {
 	var out []CheckedCycle
 	for _, c := range r.Cycles {
@@ -261,19 +308,21 @@ func (r *CheckReport) Confirmed() []CheckedCycle {
 }
 
 // Check runs the whole DeadlockFuzzer pipeline: find potential cycles,
-// then try to create each one.
+// then run one multi-cycle campaign that tries to create all of them.
+// On a Phase I failure the partial report (with any observed deadlocks)
+// is returned alongside the error.
 func Check(prog func(*Ctx), opts CheckOptions) (*CheckReport, error) {
 	fr, err := Find(prog, opts.Find)
-	if err != nil {
-		return nil, err
-	}
 	out := &CheckReport{Find: fr}
-	for _, cyc := range fr.Cycles {
-		out.Cycles = append(out.Cycles, CheckedCycle{
-			Cycle:   cyc,
-			Confirm: Confirm(prog, cyc, opts.Confirm),
-		})
+	if err != nil {
+		return out, err
 	}
+	multi := ConfirmAll(prog, fr.Cycles, opts.Confirm)
+	for i, cyc := range fr.Cycles {
+		out.Cycles = append(out.Cycles, CheckedCycle{Cycle: cyc, Confirm: multi.Reports[i]})
+	}
+	out.Executions = multi.Executions
+	out.Unmatched = multi.Unmatched
 	return out, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"dlfuzz"
+	"dlfuzz/internal/workloads"
 )
 
 // fig1 on the public API.
@@ -61,6 +62,41 @@ func TestCheckAggregates(t *testing.T) {
 	}
 	if len(rep.Cycles) != 1 || len(rep.Confirmed()) != 1 {
 		t.Fatalf("cycles=%d confirmed=%d", len(rep.Cycles), len(rep.Confirmed()))
+	}
+	if rep.Executions == 0 || rep.Executions > opts.Confirm.Runs+len(rep.Cycles)-1 {
+		t.Errorf("executions = %d, want 1..%d", rep.Executions, opts.Confirm.Runs+len(rep.Cycles)-1)
+	}
+}
+
+// TestCheckSharesBudgetAcrossCycles pins the acceptance criterion on the
+// Collections lists workload: Check's single multi-cycle campaign stays
+// within Runs + cycles - 1 total Phase II executions (the per-cycle path
+// paid cycles × Runs) while still confirming every cycle the per-cycle
+// path confirms.
+func TestCheckSharesBudgetAcrossCycles(t *testing.T) {
+	w, ok := workloads.ByName("lists")
+	if !ok {
+		t.Fatal("unknown workload lists")
+	}
+	opts := dlfuzz.DefaultCheckOptions()
+	opts.Confirm.Runs = 40
+	rep, err := dlfuzz.Check(w.Prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cycles) < 2 {
+		t.Fatalf("lists reported %d cycles; the budget test needs several", len(rep.Cycles))
+	}
+	if rep.Executions > opts.Confirm.Runs+len(rep.Cycles)-1 {
+		t.Errorf("executions = %d for %d cycles, want ≤ Runs+cycles-1 = %d",
+			rep.Executions, len(rep.Cycles), opts.Confirm.Runs+len(rep.Cycles)-1)
+	}
+	for _, c := range rep.Cycles {
+		legacy := dlfuzz.Confirm(w.Prog, c.Cycle, opts.Confirm)
+		if legacy.Confirmed() && !c.Confirm.Confirmed() {
+			t.Errorf("cycle %s: per-cycle path confirms (%d/%d) but Check does not (%+v)",
+				c.Cycle, legacy.Reproduced, legacy.Runs, c.Confirm.CycleSummary)
+		}
 	}
 }
 

@@ -85,6 +85,6 @@ func main() {
 		}
 		rep := dlfuzz.Confirm(prog, fr.Cycles[0], opts)
 		fmt.Printf("%-20s probability %.2f, avg thrashes %.2f\n",
-			cfg.name+":", rep.Probability(), rep.AvgThrashes)
+			cfg.name+":", rep.Probability(), rep.AvgThrashes())
 	}
 }

@@ -74,7 +74,7 @@ func main() {
 	for _, cyc := range find.Cycles {
 		rep := dlfuzz.Confirm(body, cyc, opts)
 		fmt.Printf("confirmed with probability %.2f (avg thrashes %.2f)\n",
-			rep.Probability(), rep.AvgThrashes)
+			rep.Probability(), rep.AvgThrashes())
 		if rep.Example != nil {
 			fmt.Printf("  witness: %s\n", rep.Example)
 		}

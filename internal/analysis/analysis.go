@@ -1,0 +1,193 @@
+// Package analysis is the composable single-pass pipeline layer: one
+// scheduled execution, observed by any set of typed analyses at once.
+//
+// The paper's two phases are really one event stream consumed by several
+// analyses — the lock-dependency recorder (Definition 1), the vector-clock
+// tracker behind the happens-before filter, the trace collector, simple
+// event statistics. Before this package each consumer was hand-threaded
+// through harness code: RunPhase1 hardcoded its observer list and every
+// new consumer meant another bespoke wiring site. A Pipeline makes the
+// wiring declarative: attach the analyses you want, run the program once,
+// and read each analysis's typed result. Single-pass sharing is the
+// architectural direction of the linear-time prediction line of work
+// (Tunç et al. 2023) — one observed execution amortized across every
+// analysis that wants it.
+//
+// Attachment order is significant exactly once: an analysis that consumes
+// another's per-event state (the dependency recorder reading the HB
+// tracker's clocks) must be attached after its supplier, because the
+// scheduler notifies observers in attachment order. The convenience
+// constructors (HB, LockDeps) encode that contract in their signatures:
+// LockDeps takes the clock source it depends on.
+package analysis
+
+import (
+	"errors"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/hb"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/lockset"
+	"dlfuzz/internal/sched"
+	"dlfuzz/internal/trace"
+)
+
+// Pipeline is an ordered set of analyses attached to one execution. The
+// zero value is ready to use.
+type Pipeline struct {
+	observers []sched.Observer
+}
+
+// Attach registers any observer with the pipeline and returns it with
+// its concrete type preserved, so results stay typed at the call site:
+//
+//	stats := analysis.Attach(p, analysis.NewStats())
+//
+// Observers see events in attachment order; attach suppliers (e.g. the
+// HB tracker) before their consumers.
+func Attach[O sched.Observer](p *Pipeline, o O) O {
+	p.observers = append(p.observers, o)
+	return o
+}
+
+// HB attaches a happens-before vector-clock tracker.
+func (p *Pipeline) HB() *hb.Tracker {
+	return Attach(p, hb.NewTracker())
+}
+
+// LockDeps attaches a lock-dependency recorder. clocks may be nil for a
+// recorder without vector clocks; passing a tracker already attached to
+// this pipeline (see HB) annotates every dependency with the acquiring
+// thread's clock, which is what the happens-before cycle filter needs.
+func (p *Pipeline) LockDeps(clocks lockset.ClockSource) *lockset.Recorder {
+	r := lockset.NewRecorder()
+	if clocks != nil {
+		r = r.WithClocks(clocks)
+	}
+	return Attach(p, r)
+}
+
+// Trace attaches a full-event-stream collector.
+func (p *Pipeline) Trace() *trace.Collector {
+	return Attach(p, trace.NewCollector())
+}
+
+// Stats attaches a per-kind event counter.
+func (p *Pipeline) Stats() *Stats {
+	return Attach(p, NewStats())
+}
+
+// Exec configures one pipeline execution.
+type Exec struct {
+	Seed     int64
+	MaxSteps int
+	// Policy selects the scheduling policy; nil means the plain random
+	// scheduler (Algorithm 2).
+	Policy sched.Policy
+}
+
+// Run executes prog once under ex with every attached analysis
+// observing. The analyses' results are read from the analysis values
+// themselves; Run returns the scheduler's result. The pipeline may be
+// run again, but analyses accumulate — attach fresh ones per execution
+// unless accumulation is wanted.
+func (p *Pipeline) Run(prog func(*sched.Ctx), ex Exec) *sched.Result {
+	return sched.New(sched.Options{
+		Seed:      ex.Seed,
+		MaxSteps:  ex.MaxSteps,
+		Policy:    ex.Policy,
+		Observers: append([]sched.Observer(nil), p.observers...),
+	}).Run(prog)
+}
+
+// Stats is a cheap always-on analysis: event totals by kind.
+type Stats struct {
+	// Events is the total number of observed events.
+	Events uint64
+	// ByKind counts events per statement kind.
+	ByKind [event.NumKinds]uint64
+}
+
+// NewStats returns a zeroed stats analysis.
+func NewStats() *Stats { return &Stats{} }
+
+// OnEvent implements sched.Observer.
+func (s *Stats) OnEvent(ev sched.Ev) {
+	s.Events++
+	if ev.Kind >= 0 && int(ev.Kind) < event.NumKinds {
+		s.ByKind[ev.Kind]++
+	}
+}
+
+// ErrNoCompletedRun is returned when no seed yields a completed
+// observation execution.
+var ErrNoCompletedRun = errors.New("analysis: no seed produced a completed observation run")
+
+// Observation is the outcome of an iGoodlock observation pass: one
+// pipeline execution per attempted seed, dependency recording and
+// happens-before tracking sharing the stream, iGoodlock and the
+// HB filter run over the recorded relation.
+type Observation struct {
+	// Cycles are the potential deadlock cycles that survive the
+	// happens-before filter; FalsePositives were proved impossible.
+	Cycles         []*igoodlock.Cycle
+	FalsePositives []*igoodlock.Cycle
+	// Deps is the size of the recorded lock dependency relation.
+	Deps int
+	// Seed is the seed of the completed observation run (the last
+	// attempted seed if none completed).
+	Seed int64
+	// Steps and Events describe the completed observation run (zero if
+	// none completed); Stats breaks Events down by kind.
+	Steps  int
+	Events uint64
+	Stats  *Stats
+	// ObservedDeadlocks are real deadlocks hit by observation attempts
+	// that did not complete. They are confirmed findings in their own
+	// right — a deadlock witnessed is a deadlock found — not retry
+	// artifacts, so they are preserved even though the runs that
+	// produced them contribute no dependency relation.
+	ObservedDeadlocks []*sched.DeadlockInfo
+	// Attempts is the number of seeds tried (1 when the first seed
+	// completed).
+	Attempts int
+}
+
+// maxObserveAttempts bounds the retry loop over seeds.
+const maxObserveAttempts = 100
+
+// Observe runs the Phase I observation pass: seeds from seed upward are
+// tried until an execution completes, each attempt running a fresh
+// HB + lock-dependency pipeline. Attempts that deadlock are recorded on
+// the result, not discarded. If no seed completes within the attempt
+// budget, Observe returns ErrNoCompletedRun together with a partial
+// (cycle-less) Observation carrying whatever deadlocks were witnessed —
+// callers that give up on prediction can still report those.
+func Observe(prog func(*sched.Ctx), cfg igoodlock.Config, seed int64, maxSteps int) (*Observation, error) {
+	obs := &Observation{Seed: seed}
+	for attempt := 0; attempt < maxObserveAttempts; attempt++ {
+		s := seed + int64(attempt)
+		obs.Seed = s
+		obs.Attempts = attempt + 1
+
+		var p Pipeline
+		tracker := p.HB()
+		rec := p.LockDeps(tracker)
+		stats := p.Stats()
+		res := p.Run(prog, Exec{Seed: s, MaxSteps: maxSteps})
+		if res.Outcome != sched.Completed {
+			if res.Outcome == sched.Deadlock && res.Deadlock != nil {
+				obs.ObservedDeadlocks = append(obs.ObservedDeadlocks, res.Deadlock)
+			}
+			continue
+		}
+		all := igoodlock.Find(rec.Deps(), cfg)
+		obs.Cycles, obs.FalsePositives = hb.FilterCycles(all)
+		obs.Deps = rec.Len()
+		obs.Steps = res.Steps
+		obs.Events = res.Events
+		obs.Stats = stats
+		return obs, nil
+	}
+	return obs, ErrNoCompletedRun
+}

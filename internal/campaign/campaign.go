@@ -186,6 +186,34 @@ type Summary struct {
 	Example *sched.DeadlockInfo
 }
 
+// Probability returns the empirical reproduction probability, the
+// paper's Table 1 column 9. Both harness.Phase2Summary and the public
+// ConfirmReport derive it from here.
+func (s *Summary) Probability() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.Reproduced) / float64(s.Runs)
+}
+
+// AvgThrashes returns the mean thrash count per contributing run, the
+// paper's column 10.
+func (s *Summary) AvgThrashes() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.Thrashes) / float64(s.Runs)
+}
+
+// AvgSteps returns the mean scheduler steps per contributing run (the
+// deterministic runtime proxy).
+func (s *Summary) AvgSteps() float64 {
+	if s.Runs == 0 {
+		return 0
+	}
+	return float64(s.Steps) / float64(s.Runs)
+}
+
 // Confirm runs the active checker over seeds 0..runs-1 against cycle
 // and merges the results. StopAfter counts reproductions.
 func Confirm(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Config, runs, maxSteps int, opts Options) *Summary {
@@ -230,6 +258,14 @@ type BaselineSummary struct {
 	Runs       int
 	Deadlocked int
 	Steps      int
+}
+
+// AvgSteps returns the mean steps per baseline run.
+func (b *BaselineSummary) AvgSteps() float64 {
+	if b.Runs == 0 {
+		return 0
+	}
+	return float64(b.Steps) / float64(b.Runs)
 }
 
 // Baseline runs the plain random scheduler over seeds 0..runs-1.

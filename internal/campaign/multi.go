@@ -1,0 +1,176 @@
+package campaign
+
+// Multi-cycle campaigns: one seed-sharded campaign that targets every
+// candidate cycle of a program at once, instead of an independent
+// Runs-seed campaign per cycle.
+//
+// The per-cycle path costs len(cycles) × Runs executions for Table 1.
+// Most of that is redundant: a Phase II execution confirms a deadlock by
+// reaching an actual deadlocked state, and that state can be matched
+// against *every* candidate after the fact, not just the cycle the
+// scheduler was biased toward. So a multi-cycle campaign runs ~Runs
+// executions total, biases each one toward a single candidate —
+// round-robin in campaign seed order, so the (target, scheduler seed)
+// assignment is a pure function of the campaign seed — and credits every
+// confirmed deadlock to every candidate it matches.
+//
+// The seed split is chosen so per-cycle results stay comparable with the
+// per-cycle path: campaign seed s maps to target s % C and scheduler
+// seed s / C. Cycle i's targeted runs therefore use scheduler seeds
+// 0,1,2,… — exactly the executions a single-cycle campaign of the same
+// size would have run — so a CycleSummary's embedded Summary is
+// *identical* to Confirm's over the same per-target seed range (the
+// equivalence tests pin this down). Cross-credits are tracked separately
+// so that identity is not disturbed.
+//
+// Everything runs through Run, so the parallel ≡ serial byte-identity
+// guarantee carries over: results merge in ascending campaign-seed
+// order at any Parallelism setting.
+
+import (
+	"dlfuzz/internal/fuzzer"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/sched"
+)
+
+// CycleSummary is one candidate cycle's slice of a multi-cycle campaign.
+type CycleSummary struct {
+	// Summary aggregates only the runs biased toward this cycle; its
+	// fields mean exactly what they mean for a single-cycle campaign
+	// over the same scheduler seeds.
+	Summary
+	// CrossMatches counts runs biased toward *other* candidates whose
+	// confirmed deadlock nevertheless matched this cycle. A cross-match
+	// confirms the cycle as real just like a targeted reproduction —
+	// the deadlock was reached, only while aiming elsewhere — but is
+	// kept out of Reproduced so Probability stays the paper's targeted
+	// reproduction probability.
+	CrossMatches int
+	// CrossExample is the first cross-matching witness in campaign seed
+	// order (nil when CrossMatches is 0).
+	CrossExample *sched.DeadlockInfo
+}
+
+// Confirmed reports whether any execution of the campaign — targeted or
+// not — confirmed this cycle as a real deadlock.
+func (c *CycleSummary) Confirmed() bool {
+	return c.Reproduced > 0 || c.CrossMatches > 0
+}
+
+// Witness returns a deadlock witness for the cycle: a targeted
+// reproduction if one exists, otherwise a cross-match, otherwise nil.
+func (c *CycleSummary) Witness() *sched.DeadlockInfo {
+	if c.Example != nil {
+		return c.Example
+	}
+	return c.CrossExample
+}
+
+// MultiSummary is the merged outcome of one multi-cycle campaign.
+type MultiSummary struct {
+	// Cycles has one entry per candidate, in input order.
+	Cycles []CycleSummary
+	// Executions is the total number of executions consumed — at most
+	// runs + len(cycles) - 1 (the round-robin split rounds the
+	// per-target share up), or fewer when StopAfter ended the campaign
+	// early.
+	Executions int
+	// Deadlocked counts executions that confirmed any real deadlock;
+	// Unmatched counts confirmed deadlocks that matched no candidate
+	// (novel deadlocks, found but not predicted).
+	Deadlocked int
+	Unmatched  int
+	// Thrashes, Yields and Steps are totals across every execution.
+	Thrashes int
+	Yields   int
+	Steps    int
+}
+
+// Confirmed returns the indexes of the confirmed candidates, in input
+// order.
+func (m *MultiSummary) Confirmed() []int {
+	var out []int
+	for i := range m.Cycles {
+		if m.Cycles[i].Confirmed() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// multiRun is one execution's outcome plus its multi-cycle bookkeeping,
+// computed on the worker so the merge goroutine only aggregates.
+type multiRun struct {
+	target  int
+	r       *fuzzer.RunResult
+	matches []int // candidate indexes the confirmed deadlock matches
+}
+
+// ConfirmCycles runs one campaign of ~runs executions against all
+// candidate cycles: campaign seed s runs the active checker biased
+// toward cycles[s % len(cycles)] with scheduler seed s / len(cycles),
+// and every confirmed deadlock is matched against every candidate and
+// credited wherever it matches. Each candidate receives exactly
+// ceil(runs / len(cycles)) targeted runs. StopAfter counts targeted
+// reproductions (any candidate), in campaign seed order.
+func ConfirmCycles(prog func(*sched.Ctx), cycles []*igoodlock.Cycle, cfg fuzzer.Config, runs, maxSteps int, opts Options) *MultiSummary {
+	out := &MultiSummary{Cycles: make([]CycleSummary, len(cycles))}
+	c := len(cycles)
+	if c == 0 || runs <= 0 {
+		return out
+	}
+	perTarget := (runs + c - 1) / c
+	exec := func(seed int) *multiRun {
+		target := seed % c
+		m := &multiRun{
+			target: target,
+			r:      fuzzer.Run(prog, cycles[target], cfg, int64(seed/c), maxSteps),
+		}
+		if m.r.Result.Outcome == sched.Deadlock {
+			for i, cyc := range cycles {
+				if fuzzer.MatchesCycle(m.r.Result.Deadlock, cyc, cfg) {
+					m.matches = append(m.matches, i)
+				}
+			}
+		}
+		return m
+	}
+	out.Executions = Run(perTarget*c, opts, exec,
+		func(m *multiRun) bool { return m.r.Reproduced },
+		func(_ int, m *multiRun) {
+			r := m.r
+			cs := &out.Cycles[m.target]
+			cs.Runs++
+			cs.Thrashes += r.Stats.Thrashes
+			cs.Yields += r.Stats.Yields
+			cs.Steps += r.Result.Steps
+			out.Thrashes += r.Stats.Thrashes
+			out.Yields += r.Stats.Yields
+			out.Steps += r.Result.Steps
+			if r.Result.Outcome != sched.Deadlock {
+				return
+			}
+			out.Deadlocked++
+			cs.Deadlocked++
+			if r.Reproduced {
+				cs.Reproduced++
+				if cs.Example == nil {
+					cs.Example = r.Result.Deadlock
+				}
+			}
+			for _, i := range m.matches {
+				if i == m.target {
+					continue
+				}
+				cc := &out.Cycles[i]
+				cc.CrossMatches++
+				if cc.CrossExample == nil {
+					cc.CrossExample = r.Result.Deadlock
+				}
+			}
+			if len(m.matches) == 0 {
+				out.Unmatched++
+			}
+		})
+	return out
+}

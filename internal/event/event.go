@@ -65,6 +65,10 @@ var kindNames = [...]string{
 	KindNotify:  "Notify",
 }
 
+// NumKinds is the number of statement kinds, for tables indexed by Kind
+// (e.g. per-kind event counters).
+const NumKinds = len(kindNames)
+
 // String returns the statement-kind name used in traces and test output.
 func (k Kind) String() string {
 	if k < 0 || int(k) >= len(kindNames) {

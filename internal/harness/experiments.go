@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 	"math"
-	"time"
 
 	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/fuzzer"
@@ -32,6 +31,11 @@ type Table1Row struct {
 	// plausible cycles; AvgThrashes the mean thrash count per run.
 	Probability float64
 	AvgThrashes float64
+	// Phase2Execs is the total number of Phase II executions the row
+	// cost. The multi-cycle campaign keeps it near Runs regardless of
+	// how many cycles the workload has (the per-cycle path paid
+	// cycles × Runs).
+	Phase2Execs int
 	// BaselineDeadlocks is how many of the uninstrumented control runs
 	// deadlocked (the paper observed 0 of 100).
 	BaselineDeadlocks int
@@ -39,22 +43,25 @@ type Table1Row struct {
 
 // Table1Options sizes a Table 1 campaign.
 type Table1Options struct {
-	// Runs is the number of Phase II executions per cycle (the paper
-	// uses 100).
+	// Runs is the total Phase II execution budget per workload, shared
+	// across its cycles by the multi-cycle campaign (the paper's
+	// per-cycle path used 100 runs for each cycle; here 100 buys the
+	// whole row).
 	Runs int
 	// BaselineRuns is the number of uninstrumented control runs.
 	BaselineRuns int
 	// MaxSteps bounds each execution.
 	MaxSteps int
-	// MaxCycles caps how many cycles get a reproduction campaign
-	// (0 = all); useful to keep test-suite time bounded.
+	// MaxCycles caps how many cycles the campaign targets (0 = all);
+	// useful to keep test-suite time bounded.
 	MaxCycles int
 	// Parallelism is the campaign worker count (0 = all cores, 1 =
 	// serial); the row's counters are identical at every setting.
 	Parallelism int
-	// StopAfter ends each cycle's campaign after that many
-	// reproductions (0 = run every seed). Early-stopped campaigns
-	// report probabilities over the seeds that actually ran.
+	// StopAfter ends the workload's campaign after that many targeted
+	// reproductions across all cycles (0 = run every seed).
+	// Early-stopped campaigns report probabilities over the seeds that
+	// actually ran.
 	StopAfter int
 }
 
@@ -96,29 +103,30 @@ func BuildTable1Row(w workloads.Workload, opt Table1Options) (Table1Row, error) 
 	if opt.MaxCycles > 0 && len(cycles) > opt.MaxCycles {
 		cycles = cycles[:opt.MaxCycles]
 	}
-	var probSum float64
-	var thrashSum float64
-	var p2Time time.Duration
-	var p2Runs int
-	for _, cyc := range cycles {
-		sum := RunPhase2Campaign(w.Prog, cyc, v.Fuzzer, opt.Runs, opt.MaxSteps, copts)
-		if sum.Reproduced > 0 {
-			row.Confirmed++
+	if len(cycles) > 0 {
+		// One multi-cycle campaign covers every cycle: ~Runs executions
+		// total instead of Runs per cycle, with deadlocks credited to
+		// every candidate they match.
+		multi := RunPhase2Multi(w.Prog, cycles, v.Fuzzer, opt.Runs, opt.MaxSteps, copts)
+		var probSum, thrashSum float64
+		for i := range multi.Cycles {
+			cs := &multi.Cycles[i]
+			if cs.Confirmed() {
+				row.Confirmed++
+			}
+			if cs.Deadlocked > 0 || cs.CrossMatches > 0 {
+				row.Deadlocked++
+			}
+			probSum += cs.Probability()
+			thrashSum += cs.AvgThrashes()
 		}
-		if sum.Deadlocked > 0 {
-			row.Deadlocked++
+		n := float64(len(cycles))
+		row.Probability = probSum / n
+		row.AvgThrashes = thrashSum / n
+		row.Phase2Execs = multi.Executions
+		if multi.Executions > 0 {
+			row.Phase2Ms = float64(multi.Elapsed.Microseconds()) / float64(multi.Executions) / 1000
 		}
-		probSum += sum.Probability()
-		thrashSum += sum.AvgThrashes()
-		p2Time += sum.Elapsed
-		p2Runs += sum.Runs
-	}
-	if n := len(cycles); n > 0 {
-		row.Probability = probSum / float64(n)
-		row.AvgThrashes = thrashSum / float64(n)
-	}
-	if p2Runs > 0 {
-		row.Phase2Ms = float64(p2Time.Microseconds()) / float64(p2Runs) / 1000
 	}
 	return row, nil
 }

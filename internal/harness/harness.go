@@ -4,117 +4,52 @@
 package harness
 
 import (
-	"errors"
 	"time"
 
+	"dlfuzz/internal/analysis"
 	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/fuzzer"
-	"dlfuzz/internal/hb"
 	"dlfuzz/internal/igoodlock"
-	"dlfuzz/internal/lockset"
 	"dlfuzz/internal/object"
 	"dlfuzz/internal/sched"
 )
 
-// Phase1Result is the outcome of one iGoodlock observation run.
+// Phase1Result is the outcome of an iGoodlock observation pass. It wraps
+// the analysis-pipeline Observation with the wall time the harness
+// measured around it.
 type Phase1Result struct {
-	// Cycles are the potential deadlock cycles that survive the
-	// happens-before filter (plausible reports).
-	Cycles []*igoodlock.Cycle
-	// FalsePositives are reports the happens-before filter proved
-	// impossible (Section 5.4's provable false warnings).
-	FalsePositives []*igoodlock.Cycle
-	// Deps is the size of the recorded lock dependency relation.
-	Deps int
-	// Seed is the seed of the (completed) observation run.
-	Seed int64
-	// Steps and Events describe the observation run.
-	Steps  int
-	Events uint64
+	analysis.Observation
 	// Elapsed is the wall time of instrumented execution + analysis.
 	Elapsed time.Duration
 }
 
 // ErrNoCompletedRun is returned when no seed yields a completed
 // observation execution.
-var ErrNoCompletedRun = errors.New("harness: no seed produced a completed observation run")
+var ErrNoCompletedRun = analysis.ErrNoCompletedRun
 
 // RunPhase1 observes the program under the plain random scheduler with
-// dependency recording and happens-before tracking, then runs iGoodlock.
-// Seeds from seed upward are tried until an execution completes (an
-// observation run that deadlocks has already found its deadlock and is
-// retried, like re-running a test that hung).
+// dependency recording and happens-before tracking sharing one pipeline
+// execution, then runs iGoodlock. Seeds from seed upward are tried until
+// an execution completes; attempts that deadlock have already found a
+// real deadlock, which is preserved on the result (ObservedDeadlocks)
+// rather than discarded. On ErrNoCompletedRun the returned result is
+// non-nil and carries the witnessed deadlocks.
 func RunPhase1(prog func(*sched.Ctx), cfg igoodlock.Config, seed int64, maxSteps int) (*Phase1Result, error) {
 	start := time.Now()
-	for attempt := 0; attempt < 100; attempt++ {
-		s := seed + int64(attempt)
-		tracker := hb.NewTracker()
-		rec := lockset.NewRecorder().WithClocks(tracker)
-		sc := sched.New(sched.Options{
-			Seed:      s,
-			MaxSteps:  maxSteps,
-			Observers: []sched.Observer{tracker, rec},
-		})
-		res := sc.Run(prog)
-		if res.Outcome != sched.Completed {
-			continue
-		}
-		all := igoodlock.Find(rec.Deps(), cfg)
-		plausible, fps := hb.FilterCycles(all)
-		return &Phase1Result{
-			Cycles:         plausible,
-			FalsePositives: fps,
-			Deps:           rec.Len(),
-			Seed:           s,
-			Steps:          res.Steps,
-			Events:         res.Events,
-			Elapsed:        time.Since(start),
-		}, nil
-	}
-	return nil, ErrNoCompletedRun
+	obs, err := analysis.Observe(prog, cfg, seed, maxSteps)
+	res := &Phase1Result{Observation: *obs, Elapsed: time.Since(start)}
+	return res, err
 }
 
 // Phase2Summary aggregates a reproduction campaign: the checker run
-// `Runs` times against one target cycle, with seeds 0..Runs-1.
+// `Runs` times against one target cycle, with seeds 0..Runs-1. The
+// aggregate totals and derived statistics (Probability, AvgThrashes,
+// AvgSteps) come from the embedded campaign.Summary; this type adds the
+// target cycle and wall time.
 type Phase2Summary struct {
 	Cycle *igoodlock.Cycle
-	Runs  int
-	// Deadlocked counts runs that confirmed any real deadlock;
-	// Reproduced counts those whose deadlock matched the target cycle.
-	Deadlocked int
-	Reproduced int
-	// Thrashes, Yields and Steps are totals across all runs.
-	Thrashes int
-	Yields   int
-	Steps    int
-	Elapsed  time.Duration
-}
-
-// Probability returns the empirical reproduction probability, the
-// paper's column 9.
-func (p *Phase2Summary) Probability() float64 {
-	if p.Runs == 0 {
-		return 0
-	}
-	return float64(p.Reproduced) / float64(p.Runs)
-}
-
-// AvgThrashes returns the average number of thrashings per run, the
-// paper's column 10.
-func (p *Phase2Summary) AvgThrashes() float64 {
-	if p.Runs == 0 {
-		return 0
-	}
-	return float64(p.Thrashes) / float64(p.Runs)
-}
-
-// AvgSteps returns the average scheduler steps per run (the
-// deterministic runtime proxy).
-func (p *Phase2Summary) AvgSteps() float64 {
-	if p.Runs == 0 {
-		return 0
-	}
-	return float64(p.Steps) / float64(p.Runs)
+	campaign.Summary
+	Elapsed time.Duration
 }
 
 // RunPhase2 runs the active checker `runs` times against cycle, sharded
@@ -131,33 +66,33 @@ func RunPhase2(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Config,
 func RunPhase2Campaign(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Config, runs, maxSteps int, opts campaign.Options) *Phase2Summary {
 	start := time.Now()
 	sum := campaign.Confirm(prog, cycle, cfg, runs, maxSteps, opts)
-	return &Phase2Summary{
-		Cycle:      cycle,
-		Runs:       sum.Runs,
-		Deadlocked: sum.Deadlocked,
-		Reproduced: sum.Reproduced,
-		Thrashes:   sum.Thrashes,
-		Yields:     sum.Yields,
-		Steps:      sum.Steps,
-		Elapsed:    time.Since(start),
-	}
+	return &Phase2Summary{Cycle: cycle, Summary: *sum, Elapsed: time.Since(start)}
+}
+
+// Phase2Multi is the outcome of one multi-cycle campaign: ~runs
+// executions shared across every candidate cycle (see
+// campaign.ConfirmCycles), plus wall time.
+type Phase2Multi struct {
+	campaign.MultiSummary
+	Elapsed time.Duration
+}
+
+// RunPhase2Multi runs one multi-cycle campaign targeting all candidate
+// cycles at once: each execution biases toward one cycle round-robin in
+// seed order, every confirmed deadlock is credited to every candidate it
+// matches. Total executions ≤ runs + len(cycles) - 1 instead of the
+// per-cycle path's len(cycles) × runs.
+func RunPhase2Multi(prog func(*sched.Ctx), cycles []*igoodlock.Cycle, cfg fuzzer.Config, runs, maxSteps int, opts campaign.Options) *Phase2Multi {
+	start := time.Now()
+	sum := campaign.ConfirmCycles(prog, cycles, cfg, runs, maxSteps, opts)
+	return &Phase2Multi{MultiSummary: *sum, Elapsed: time.Since(start)}
 }
 
 // Baseline is the uninstrumented control: the program under the plain
 // random scheduler, no observers, no biasing.
 type Baseline struct {
-	Runs       int
-	Deadlocked int
-	Steps      int
-	Elapsed    time.Duration
-}
-
-// AvgSteps returns the average steps per baseline run.
-func (b *Baseline) AvgSteps() float64 {
-	if b.Runs == 0 {
-		return 0
-	}
-	return float64(b.Steps) / float64(b.Runs)
+	campaign.BaselineSummary
+	Elapsed time.Duration
 }
 
 // RunBaseline executes the program `runs` times under Algorithm 2,
@@ -173,12 +108,7 @@ func RunBaseline(prog func(*sched.Ctx), runs, maxSteps int) *Baseline {
 func RunBaselineCampaign(prog func(*sched.Ctx), runs, maxSteps int, opts campaign.Options) *Baseline {
 	start := time.Now()
 	sum := campaign.Baseline(prog, runs, maxSteps, opts)
-	return &Baseline{
-		Runs:       sum.Runs,
-		Deadlocked: sum.Deadlocked,
-		Steps:      sum.Steps,
-		Elapsed:    time.Since(start),
-	}
+	return &Baseline{BaselineSummary: *sum, Elapsed: time.Since(start)}
 }
 
 // Variant is one of the five DeadlockFuzzer configurations compared in

@@ -15,7 +15,8 @@ import (
 func WriteTable1(w io.Writer, rows []harness.Table1Row) {
 	tw := newTextTable(
 		"program", "paper-loc", "normal-ms", "igoodlock-ms", "df-ms",
-		"potential", "hb-false", "confirmed", "prob", "avg-thrash", "baseline-dl",
+		"potential", "hb-false", "confirmed", "prob", "avg-thrash",
+		"p2-execs", "baseline-dl",
 	)
 	for _, r := range rows {
 		prob, thrash := "-", "-"
@@ -34,6 +35,7 @@ func WriteTable1(w io.Writer, rows []harness.Table1Row) {
 			fmt.Sprintf("%d", r.Confirmed),
 			prob,
 			thrash,
+			fmt.Sprintf("%d", r.Phase2Execs),
 			fmt.Sprintf("%d", r.BaselineDeadlocks),
 		)
 	}

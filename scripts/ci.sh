@@ -5,16 +5,22 @@
 #   2. go build          — every package compiles
 #   3. go test           — the full suite (runs campaigns through the
 #                          parallel engine by default)
-#   4. go test -race     — the concurrent campaign engine and the
-#                          harness built on it must be race-clean
+#   4. go test -race     — the analysis pipeline, the concurrent
+#                          campaign engine and the harness built on them
+#                          must be race-clean
 #   5. fuzz smoke        — FuzzParser explores for a few seconds from
 #                          the testdata-seeded corpus
+#   6. pipeline bench    — machine-readable Check cost over the Figure-2
+#                          workloads (BENCH_pipeline.json), tracking the
+#                          multi-cycle campaign's execution counts
 #
-# FUZZTIME overrides the smoke window (default 10s).
+# FUZZTIME overrides the smoke window (default 10s); BENCHRUNS the
+# pipeline benchmark's Phase II budget (default 40).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FUZZTIME="${FUZZTIME:-10s}"
+BENCHRUNS="${BENCHRUNS:-40}"
 
 echo "== go vet ./... =="
 go vet ./...
@@ -25,10 +31,13 @@ go build ./...
 echo "== go test ./... =="
 go test ./...
 
-echo "== go test -race (campaign engine + harness) =="
-go test -race ./internal/campaign/ ./internal/harness/
+echo "== go test -race (analysis pipeline + campaign engine + harness) =="
+go test -race ./internal/analysis/ ./internal/campaign/ ./internal/harness/
 
 echo "== fuzz smoke: FuzzParser for ${FUZZTIME} =="
 go test -run=Fuzz -fuzz=FuzzParser -fuzztime="${FUZZTIME}" ./internal/lang/
+
+echo "== pipeline bench: Check cost over Figure-2 workloads =="
+go run ./cmd/dlbench -pipeline-json BENCH_pipeline.json -runs "${BENCHRUNS}"
 
 echo "CI OK"
