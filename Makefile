@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build test race bench fuzz-smoke vet
+.PHONY: ci build test race bench bench-smoke profile fuzz-smoke vet
 
 ci:
 	./scripts/ci.sh
@@ -25,6 +25,18 @@ race:
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkConfirmCampaign -benchtime=20x .
 	$(GO) run ./cmd/dlbench -pipeline-json BENCH_pipeline.json -runs 100
+
+# One pass over every benchmark, so benchmark-only code paths compile
+# and run (the CI bench smoke, runnable on its own).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+# CPU and heap profiles of the full Check pipeline on the lists
+# workload, written to cpu.pprof / mem.pprof in the repo root. Inspect
+# with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/dlbench -pipeline-json /dev/null -workload lists \
+		-runs 400 -cpuprofile cpu.pprof -memprofile mem.pprof
 
 fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzParser -fuzztime=10s ./internal/lang/

@@ -223,18 +223,82 @@ func BenchmarkConfirmCampaign(b *testing.B) {
 // iGoodlock join itself.
 
 // BenchmarkSchedulerSteps measures raw scheduling throughput (the
-// per-operation cost of the lockstep handshake).
+// per-operation cost of the lockstep handshake), for a fresh scheduler
+// per run and for pooled shells. One op is a 1000-step execution, so
+// allocs/op ÷ 1000 is the per-step allocation count.
 func BenchmarkSchedulerSteps(b *testing.B) {
 	prog := func(c *sched.Ctx) {
 		for i := 0; i < 1000; i++ {
 			c.Step("bench:1")
 		}
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sched.New(sched.Options{Seed: int64(i)}).Run(prog)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sched.New(sched.Options{Seed: int64(i)}).Run(prog)
+		}
+		b.ReportMetric(1000, "steps/op")
+	})
+	b.Run("pooled", func(b *testing.B) {
+		pool := sched.NewPool()
+		pool.Run(sched.Options{Seed: 0}, prog)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.Run(sched.Options{Seed: int64(i)}, prog)
+		}
+		b.ReportMetric(1000, "steps/op")
+	})
+}
+
+// acquireProg is the Acquire/Release hot loop: pairs nested
+// acquire/release operations over two locks with no per-iteration
+// closures, so the steady state is pure lock bookkeeping — lock-stack
+// pushes, snapshot publication, and the handshake.
+func acquireProg(pairs int) func(*sched.Ctx) {
+	return func(c *sched.Ctx) {
+		a := c.New("Object", "bench:a")
+		bb := c.New("Object", "bench:b")
+		for i := 0; i < pairs; i++ {
+			c.Acquire(a, "bench:1")
+			c.Acquire(bb, "bench:2")
+			c.Release(bb, "bench:2")
+			c.Release(a, "bench:1")
+		}
 	}
-	b.ReportMetric(1000, "steps/op")
+}
+
+// BenchmarkAcquirePath isolates the Acquire/Release path the paper's
+// active checker lives on: 500 nested pairs per op, plain vs observed
+// (a dependency recorder attached, so lock/context snapshots are
+// published) vs pooled. allocs/op ÷ 1000 is allocations per acquire.
+func BenchmarkAcquirePath(b *testing.B) {
+	prog := acquireProg(500)
+	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sched.New(sched.Options{Seed: int64(i)}).Run(prog)
+		}
+	})
+	b.Run("observed", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec := lockset.NewRecorder()
+			sched.New(sched.Options{
+				Seed:      int64(i),
+				Observers: []sched.Observer{rec},
+			}).Run(prog)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		pool := sched.NewPool()
+		pool.Run(sched.Options{Seed: 0}, prog)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pool.Run(sched.Options{Seed: int64(i)}, prog)
+		}
+	})
 }
 
 // BenchmarkRecorderOverhead compares an instrumented run (dependency
@@ -243,11 +307,13 @@ func BenchmarkSchedulerSteps(b *testing.B) {
 func BenchmarkRecorderOverhead(b *testing.B) {
 	w, _ := workloads.ByName("lists")
 	b.Run("plain", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sched.New(sched.Options{Seed: int64(i)}).Run(w.Prog)
 		}
 	})
 	b.Run("recording", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rec := lockset.NewRecorder()
 			sched.New(sched.Options{
@@ -268,6 +334,7 @@ func BenchmarkIGoodlockJoin(b *testing.B) {
 		b.Skip("observation run deadlocked")
 	}
 	cfg := harness.DefaultVariant().Goodlock
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cycles := igoodlock.Find(rec.Deps(), cfg)

@@ -9,13 +9,18 @@
 //	dlbench -runs 20         # smaller campaigns
 //	dlbench -parallel 1      # serial campaigns (same numbers, slower)
 //	dlbench -stop-after 5    # stop a cycle's campaign at 5 reproductions
+//	dlbench -pipeline-json BENCH_pipeline.json -workload lists \
+//	        -cpuprofile cpu.out -memprofile mem.out   # profile one workload
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dlfuzz"
@@ -31,47 +36,82 @@ func main() {
 		fig          = flag.String("fig", "", "regenerate one figure graph (\"2a\", \"2b\", \"2c\", \"2d\")")
 		imprecision  = flag.Bool("imprecision", false, "run the Section 5.4 imprecision study on Jigsaw")
 		pipelineJSON = flag.String("pipeline-json", "", "write a machine-readable Check benchmark over the Figure-2 workloads to this file and exit")
+		workload     = flag.String("workload", "", "restrict -pipeline-json to one workload (useful with the profile flags)")
 		runs         = flag.Int("runs", 100, "Phase II execution budget per workload (shared across its cycles)")
 		maxCycles    = flag.Int("max-cycles", 0, "cap cycles per benchmark (0 = all)")
 		parallel     = flag.Int("parallel", 0, "campaign workers (0 = all cores, 1 = serial); results are identical")
 		stopAfter    = flag.Int("stop-after", 0, "stop each campaign after N targeted reproductions (0 = run all seeds)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
-	copts := campaign.Options{Parallelism: *parallel, StopAfter: *stopAfter}
 
-	if *pipelineJSON != "" {
-		if err := pipelineBench(*pipelineJSON, *runs, *parallel); err != nil {
-			fail(err)
-		}
-		return
-	}
-
-	all := *table == "" && *fig == "" && !*imprecision
-	if *table == "1" || all {
-		if err := table1(*runs, *maxCycles, *parallel, *stopAfter); err != nil {
-			fail(err)
-		}
-	}
-	wantFig := func(name string) bool { return all || *fig == name }
-	if wantFig("2a") || wantFig("2b") || wantFig("2c") {
-		points, err := harness.BuildFigure2(*runs, *maxCycles, 0, copts)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
+	}
+
+	if err := run(*table, *fig, *imprecision, *pipelineJSON, *workload,
+		*runs, *maxCycles, *parallel, *stopAfter); err != nil {
+		fail(err)
+	}
+}
+
+// run is main minus flag parsing and profiling, so the profile teardown
+// deferred in main still executes on the error paths.
+func run(table, fig string, imprecision bool, pipelineJSON, workload string, runs, maxCycles, parallel, stopAfter int) error {
+	copts := campaign.Options{Parallelism: parallel, StopAfter: stopAfter}
+
+	if pipelineJSON != "" {
+		return pipelineBench(pipelineJSON, workload, runs, parallel)
+	}
+
+	all := table == "" && fig == "" && !imprecision
+	if table == "1" || all {
+		if err := table1(runs, maxCycles, parallel, stopAfter); err != nil {
+			return err
+		}
+	}
+	wantFig := func(name string) bool { return all || fig == name }
+	if wantFig("2a") || wantFig("2b") || wantFig("2c") {
+		points, err := harness.BuildFigure2(runs, maxCycles, 0, copts)
+		if err != nil {
+			return err
 		}
 		report.WriteFigure2(os.Stdout, points)
 	}
 	if wantFig("2d") {
-		points, err := harness.BuildCorrelation(*runs, *maxCycles, 0, copts)
+		points, err := harness.BuildCorrelation(runs, maxCycles, 0, copts)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		report.WriteCorrelation(os.Stdout, points)
 	}
-	if *imprecision || all {
-		if err := imprecisionStudy(*runs, copts); err != nil {
-			fail(err)
+	if imprecision || all {
+		if err := imprecisionStudy(runs, copts); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 func table1(runs, maxCycles, parallel, stopAfter int) error {
@@ -125,14 +165,21 @@ type pipelineRow struct {
 	Executions int    `json:"executions"`
 	Steps      int    `json:"steps"`
 	WallMs     int64  `json:"wallMs"`
+	// StepsPerSec is Phase II scheduler throughput (campaign steps over
+	// campaign wall time); AllocsPerStep is heap allocations per step
+	// over the whole pipeline (runtime mallocs delta / Steps). Both are
+	// machine-dependent, unlike Executions and Steps.
+	StepsPerSec   float64 `json:"stepsPerSec"`
+	AllocsPerStep float64 `json:"allocsPerStep"`
 }
 
 // pipelineBench runs the full Check pipeline on the Figure-2 workloads
-// and writes a machine-readable benchmark file, so the cost of the
-// multi-cycle campaign (executions, steps, wall time) is tracked across
-// revisions. Executions and Steps are deterministic for a fixed runs
-// value; WallMs is the only machine-dependent column.
-func pipelineBench(path string, runs, parallel int) error {
+// (or just the -workload one) and writes a machine-readable benchmark
+// file, so the cost of the multi-cycle campaign (executions, steps, wall
+// time, allocation rate) is tracked across revisions. Executions and
+// Steps are deterministic for a fixed runs value; WallMs, StepsPerSec
+// and AllocsPerStep are the machine-dependent columns.
+func pipelineBench(path, only string, runs, parallel int) error {
 	type doc struct {
 		Runs        int           `json:"runs"`
 		Parallelism int           `json:"parallelism"`
@@ -140,11 +187,18 @@ func pipelineBench(path string, runs, parallel int) error {
 	}
 	out := doc{Runs: runs, Parallelism: parallel}
 	for _, w := range harness.Figure2Benchmarks() {
+		if only != "" && w.Name != only {
+			continue
+		}
 		opts := dlfuzz.DefaultCheckOptions()
 		opts.Confirm.Runs = runs
 		opts.Confirm.Parallelism = parallel
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		rep, err := dlfuzz.Check(w.Prog, opts)
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
 		if err != nil {
 			return fmt.Errorf("pipeline bench %s: %w", w.Name, err)
 		}
@@ -153,12 +207,20 @@ func pipelineBench(path string, runs, parallel int) error {
 			Cycles:     len(rep.Cycles),
 			Confirmed:  len(rep.Confirmed()),
 			Executions: rep.Executions,
-			WallMs:     time.Since(start).Milliseconds(),
+			WallMs:     wall.Milliseconds(),
 		}
 		for _, c := range rep.Cycles {
 			row.Steps += c.Confirm.Steps
 		}
+		if row.Steps > 0 {
+			row.StepsPerSec = math.Round(float64(row.Steps) / wall.Seconds())
+			mallocs := float64(after.Mallocs - before.Mallocs)
+			row.AllocsPerStep = math.Round(mallocs/float64(row.Steps)*1000) / 1000
+		}
 		out.Workloads = append(out.Workloads, row)
+	}
+	if only != "" && len(out.Workloads) == 0 {
+		return fmt.Errorf("pipeline bench: unknown workload %q", only)
 	}
 	f, err := os.Create(path)
 	if err != nil {

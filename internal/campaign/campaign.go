@@ -73,13 +73,24 @@ func (o Options) workers(runs int) int {
 // hit are always called from the caller's goroutine, one seed at a
 // time.
 func Run[T any](runs int, opts Options, exec func(seed int) T, hit func(T) bool, consume func(seed int, v T)) int {
+	return RunWorkers(runs, opts, func() func(seed int) T { return exec }, hit, consume)
+}
+
+// RunWorkers is Run for executions with per-worker state: setup runs
+// once on each worker goroutine (once on the calling goroutine for the
+// serial path) and returns the exec that worker uses for all its seeds.
+// Campaigns use it to give each worker its own scheduler pool and
+// policy shell, so pooled state is reused across seeds but never shared
+// across goroutines. The seed-order merge is unchanged, so results are
+// identical to Run with stateless exec.
+func RunWorkers[T any](runs int, opts Options, setup func() func(seed int) T, hit func(T) bool, consume func(seed int, v T)) int {
 	if runs <= 0 {
 		return 0
 	}
 	if opts.workers(runs) <= 1 {
-		return runSerial(runs, opts, exec, hit, consume)
+		return runSerial(runs, opts, setup(), hit, consume)
 	}
-	return runParallel(runs, opts, exec, hit, consume)
+	return runParallel(runs, opts, setup, hit, consume)
 }
 
 // runSerial is the Parallelism=1 path: the plain loop the engine
@@ -105,7 +116,7 @@ func runSerial[T any](runs int, opts Options, exec func(seed int) T, hit func(T)
 // goroutine, which reorders them into ascending seed order before
 // consuming — the reorder buffer holds at most one in-flight result per
 // worker.
-func runParallel[T any](runs int, opts Options, exec func(seed int) T, hit func(T) bool, consume func(seed int, v T)) int {
+func runParallel[T any](runs int, opts Options, setup func() func(seed int) T, hit func(T) bool, consume func(seed int, v T)) int {
 	type item struct {
 		seed int
 		v    T
@@ -121,6 +132,7 @@ func runParallel[T any](runs int, opts Options, exec func(seed int) T, hit func(
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			exec := setup()
 			for !stop.Load() {
 				seed := int(next.Add(1)) - 1
 				if seed >= runs {
@@ -226,9 +238,14 @@ func Confirm(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Config, r
 // correlation). each may be nil.
 func ConfirmEach(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Config, runs, maxSteps int, opts Options, each func(seed int, r *fuzzer.RunResult)) *Summary {
 	sum := &Summary{}
-	sum.Runs = Run(runs, opts,
-		func(seed int) *fuzzer.RunResult {
-			return fuzzer.Run(prog, cycle, cfg, int64(seed), maxSteps)
+	sum.Runs = RunWorkers(runs, opts,
+		func() func(seed int) *fuzzer.RunResult {
+			// One pooled runner per worker: scheduler and policy shells
+			// are recycled across that worker's seeds.
+			r := fuzzer.NewRunner()
+			return func(seed int) *fuzzer.RunResult {
+				return r.Run(prog, cycle, cfg, int64(seed), maxSteps)
+			}
 		},
 		func(r *fuzzer.RunResult) bool { return r.Reproduced },
 		func(seed int, r *fuzzer.RunResult) {
@@ -272,9 +289,12 @@ func (b *BaselineSummary) AvgSteps() float64 {
 // StopAfter counts deadlocked runs.
 func Baseline(prog func(*sched.Ctx), runs, maxSteps int, opts Options) *BaselineSummary {
 	sum := &BaselineSummary{}
-	sum.Runs = Run(runs, opts,
-		func(seed int) *sched.Result {
-			return sched.New(sched.Options{Seed: int64(seed), MaxSteps: maxSteps}).Run(prog)
+	sum.Runs = RunWorkers(runs, opts,
+		func() func(seed int) *sched.Result {
+			pool := sched.NewPool()
+			return func(seed int) *sched.Result {
+				return pool.Run(sched.Options{Seed: int64(seed), MaxSteps: maxSteps}, prog)
+			}
 		},
 		func(r *sched.Result) bool { return r.Outcome == sched.Deadlock },
 		func(_ int, r *sched.Result) {

@@ -120,22 +120,25 @@ func ConfirmCycles(prog func(*sched.Ctx), cycles []*igoodlock.Cycle, cfg fuzzer.
 		return out
 	}
 	perTarget := (runs + c - 1) / c
-	exec := func(seed int) *multiRun {
-		target := seed % c
-		m := &multiRun{
-			target: target,
-			r:      fuzzer.Run(prog, cycles[target], cfg, int64(seed/c), maxSteps),
-		}
-		if m.r.Result.Outcome == sched.Deadlock {
-			for i, cyc := range cycles {
-				if fuzzer.MatchesCycle(m.r.Result.Deadlock, cyc, cfg) {
-					m.matches = append(m.matches, i)
+	setup := func() func(seed int) *multiRun {
+		runner := fuzzer.NewRunner()
+		return func(seed int) *multiRun {
+			target := seed % c
+			m := &multiRun{
+				target: target,
+				r:      runner.Run(prog, cycles[target], cfg, int64(seed/c), maxSteps),
+			}
+			if m.r.Result.Outcome == sched.Deadlock {
+				for i, cyc := range cycles {
+					if fuzzer.MatchesCycle(m.r.Result.Deadlock, cyc, cfg) {
+						m.matches = append(m.matches, i)
+					}
 				}
 			}
+			return m
 		}
-		return m
 	}
-	out.Executions = Run(perTarget*c, opts, exec,
+	out.Executions = RunWorkers(perTarget*c, opts, setup,
 		func(m *multiRun) bool { return m.r.Reproduced },
 		func(_ int, m *multiRun) {
 			r := m.r

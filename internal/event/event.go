@@ -155,13 +155,22 @@ func (c Context) Equal(d Context) bool {
 	return true
 }
 
-// Key returns a map-key form of the context.
+// Key returns a map-key form of the context: the labels joined by "|",
+// built in a single allocation.
 func (c Context) Key() string {
-	parts := make([]string, len(c))
-	for i, l := range c {
-		parts[i] = string(l)
+	size := 0
+	for _, l := range c {
+		size += len(l) + 1
 	}
-	return strings.Join(parts, "|")
+	var b strings.Builder
+	b.Grow(size)
+	for i, l := range c {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(string(l))
+	}
+	return b.String()
 }
 
 // String renders the context like the paper: "[15, 16]".

@@ -75,15 +75,23 @@ type Stats struct {
 }
 
 // Policy is the active random scheduler. It implements sched.Policy.
-// A Policy is single-use: create one per execution.
+// A Policy serves one execution at a time; Reset re-arms it for the
+// next, keeping its map and buffer capacity.
 type Policy struct {
 	cycle *igoodlock.Cycle
 	cfg   Config
 
 	paused   map[event.TID]int // tid -> step at which it was paused
 	freePass map[event.TID]bool
-	yielded  map[yieldKey]int // yields taken per (thread, site)
+	yielded  map[yieldKey]int   // yields taken per (thread, site)
+	skipped  map[event.TID]bool // one-decision yield skips, cleared per Next
 	stats    Stats
+
+	// unpausedBuf, runnableBuf and victimBuf are per-decision scratch
+	// slices, reused so the steady-state decision loop allocates nothing.
+	unpausedBuf []event.TID
+	runnableBuf []event.TID
+	victimBuf   []event.TID
 }
 
 type yieldKey struct {
@@ -93,6 +101,16 @@ type yieldKey struct {
 
 // New returns a policy that steers the execution toward cycle.
 func New(cycle *igoodlock.Cycle, cfg Config) *Policy {
+	p := &Policy{}
+	p.Reset(cycle, cfg)
+	return p
+}
+
+// Reset re-arms the policy for a fresh execution targeting cycle: all
+// per-run state (pauses, free passes, yield budgets, stats) is cleared,
+// map buckets and scratch capacity are kept. A reset policy behaves
+// exactly like New(cycle, cfg).
+func (p *Policy) Reset(cycle *igoodlock.Cycle, cfg Config) {
 	if cfg.K == 0 {
 		cfg.K = 10
 	}
@@ -102,13 +120,19 @@ func New(cycle *igoodlock.Cycle, cfg Config) *Policy {
 	if cfg.YieldBudget == 0 {
 		cfg.YieldBudget = defaultYieldBudget
 	}
-	return &Policy{
-		cycle:    cycle,
-		cfg:      cfg,
-		paused:   make(map[event.TID]int),
-		freePass: make(map[event.TID]bool),
-		yielded:  make(map[yieldKey]int),
+	p.cycle = cycle
+	p.cfg = cfg
+	if p.paused == nil {
+		p.paused = make(map[event.TID]int)
+		p.freePass = make(map[event.TID]bool)
+		p.yielded = make(map[yieldKey]int)
+	} else {
+		clear(p.paused)
+		clear(p.freePass)
+		clear(p.yielded)
 	}
+	clear(p.skipped)
+	p.stats = Stats{}
 }
 
 // Stats returns the policy's counters for the execution so far.
@@ -134,7 +158,7 @@ func (p *Policy) Next(s *sched.Scheduler, enabled []event.TID) event.TID {
 			p.stats.Pauses++
 		}
 	}
-	skipped := make(map[event.TID]bool)
+	clear(p.skipped)
 	for {
 		candidates := p.unpaused(enabled)
 		if len(candidates) == 0 {
@@ -143,14 +167,18 @@ func (p *Policy) Next(s *sched.Scheduler, enabled []event.TID) event.TID {
 		}
 		// Drop one-decision yield skips, unless that would leave
 		// nothing to run.
-		runnable := candidates[:0:0]
-		for _, t := range candidates {
-			if !skipped[t] {
-				runnable = append(runnable, t)
+		runnable := candidates
+		if len(p.skipped) > 0 {
+			runnable = p.runnableBuf[:0]
+			for _, t := range candidates {
+				if !p.skipped[t] {
+					runnable = append(runnable, t)
+				}
 			}
-		}
-		if len(runnable) == 0 {
-			runnable = candidates
+			p.runnableBuf = runnable
+			if len(runnable) == 0 {
+				runnable = candidates
+			}
 		}
 		tid := runnable[s.Rand().Intn(len(runnable))]
 		req := s.Pending(tid)
@@ -160,7 +188,10 @@ func (p *Policy) Next(s *sched.Scheduler, enabled []event.TID) event.TID {
 		}
 		if p.cfg.YieldOpt && len(runnable) > 1 && req.Kind == event.KindAcquire && p.shouldYield(s, tid, req) {
 			p.yielded[yieldKey{tid, req.Loc}]++
-			skipped[tid] = true
+			if p.skipped == nil {
+				p.skipped = make(map[event.TID]bool)
+			}
+			p.skipped[tid] = true
 			p.stats.Yields++
 			continue
 		}
@@ -168,17 +199,19 @@ func (p *Policy) Next(s *sched.Scheduler, enabled []event.TID) event.TID {
 	}
 }
 
-// unpaused filters the paused threads out of enabled.
+// unpaused filters the paused threads out of enabled, into a reused
+// scratch buffer.
 func (p *Policy) unpaused(enabled []event.TID) []event.TID {
 	if len(p.paused) == 0 {
 		return enabled
 	}
-	out := make([]event.TID, 0, len(enabled))
+	out := p.unpausedBuf[:0]
 	for _, t := range enabled {
 		if _, ok := p.paused[t]; !ok {
 			out = append(out, t)
 		}
 	}
+	p.unpausedBuf = out
 	return out
 }
 
@@ -192,10 +225,11 @@ func (p *Policy) unpaused(enabled []event.TID) []event.TID {
 // precisely how a badly placed pause can make the checker miss the
 // deadlock (the probability-0.25 miss analyzed in the paper's Section 3).
 func (p *Policy) thrash(s *sched.Scheduler) {
-	victims := make([]event.TID, 0, len(p.paused))
+	victims := p.victimBuf[:0]
 	for t := range p.paused {
 		victims = append(victims, t)
 	}
+	p.victimBuf = victims
 	sortTIDs(victims)
 	victim := victims[s.Rand().Intn(len(victims))]
 	delete(p.paused, victim)

@@ -70,3 +70,29 @@ func Run(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg Config, seed int64, 
 		Stats:      pol.Stats(),
 	}
 }
+
+// Runner amortizes Phase II state over many executions: one scheduler
+// pool and one policy shell serve every seed, so a campaign worker
+// allocates its checker state once instead of once per run. Results are
+// byte-identical to the package-level Run. A Runner is not safe for
+// concurrent use; give each campaign worker its own.
+type Runner struct {
+	pool *sched.Pool
+	pol  *Policy
+}
+
+// NewRunner returns a Runner with an empty pool.
+func NewRunner() *Runner {
+	return &Runner{pool: sched.NewPool(), pol: &Policy{}}
+}
+
+// Run is the pooled equivalent of the package-level Run.
+func (r *Runner) Run(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg Config, seed int64, maxSteps int) *RunResult {
+	r.pol.Reset(cycle, cfg)
+	res := r.pool.Run(sched.Options{Seed: seed, Policy: r.pol, MaxSteps: maxSteps}, prog)
+	return &RunResult{
+		Result:     res,
+		Reproduced: res.Outcome == sched.Deadlock && MatchesCycle(res.Deadlock, cycle, cfg),
+		Stats:      r.pol.Stats(),
+	}
+}

@@ -1,0 +1,62 @@
+package fuzzer
+
+import (
+	"reflect"
+	"testing"
+
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/sched"
+)
+
+// TestRunnerMatchesRun pins the pooled Runner's guarantee: recycled
+// scheduler and policy shells must produce run results deeply equal to
+// the single-use path, seed by seed, across two back-to-back sweeps on
+// the same shells.
+func TestRunnerMatchesRun(t *testing.T) {
+	cycles := phase1(t, fig1, igoodlock.DefaultConfig())
+	if len(cycles) == 0 {
+		t.Fatal("no cycles")
+	}
+	cfg := DefaultConfig()
+	r := NewRunner()
+	for sweep := 0; sweep < 2; sweep++ {
+		for seed := int64(0); seed < 25; seed++ {
+			fresh := Run(fig1, cycles[0], cfg, seed, 0)
+			pooled := r.Run(fig1, cycles[0], cfg, seed, 0)
+			if !reflect.DeepEqual(fresh, pooled) {
+				t.Fatalf("sweep %d seed %d: pooled run differs\nfresh:  %+v\npooled: %+v",
+					sweep, seed, fresh, pooled)
+			}
+		}
+	}
+}
+
+// TestRunnerRetargets checks that one Runner can switch programs and
+// target cycles mid-stream without leaking pause/yield state between
+// targets: each result must equal a fresh single-use run against the
+// same target.
+func TestRunnerRetargets(t *testing.T) {
+	type target struct {
+		prog func(*sched.Ctx)
+		cyc  *igoodlock.Cycle
+	}
+	var targets []target
+	for _, prog := range []func(*sched.Ctx){fig1, fig1Third} {
+		for _, cyc := range phase1(t, prog, igoodlock.DefaultConfig()) {
+			targets = append(targets, target{prog, cyc})
+		}
+	}
+	if len(targets) < 2 {
+		t.Fatalf("want >= 2 targets, got %d", len(targets))
+	}
+	cfg := DefaultConfig()
+	r := NewRunner()
+	for seed := int64(0); seed < 20; seed++ {
+		tg := targets[seed%int64(len(targets))]
+		fresh := Run(tg.prog, tg.cyc, cfg, seed, 0)
+		pooled := r.Run(tg.prog, tg.cyc, cfg, seed, 0)
+		if !reflect.DeepEqual(fresh, pooled) {
+			t.Fatalf("seed %d: retargeted pooled run differs", seed)
+		}
+	}
+}

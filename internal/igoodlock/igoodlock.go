@@ -9,6 +9,15 @@
 // memory for runtime, and it attaches to every cycle the context (acquire
 // sites) and object abstractions the active random checker (Phase II)
 // needs to bias its scheduler.
+//
+// The join loop is engineered so the common (non-joinable) candidate is
+// rejected without touching dependency memory: extension candidates are
+// indexed by held lock with the bucket's maximum thread id (whole buckets
+// are skipped when no candidate can satisfy the min-thread-first order
+// constraint), and each chain carries 64-bit thread/lock/held masks so
+// the pairwise-distinctness checks of Definition 2 only run on mask
+// collisions. Everything the masks admit is re-checked exactly; the
+// candidate order, and therefore the report order, is unchanged.
 package igoodlock
 
 import (
@@ -43,6 +52,9 @@ func (c Component) String() string {
 // Cycle is a potential deadlock cycle in abstract form.
 type Cycle struct {
 	Components []Component
+	// key caches Key(): report() computes it once per cycle; ad-hoc
+	// Cycle literals fill it on first use.
+	key string
 }
 
 // Len returns the cycle length (number of threads involved).
@@ -50,13 +62,43 @@ func (c *Cycle) Len() int { return len(c.Components) }
 
 // Key returns a canonical identity for duplicate suppression: two cycles
 // with the same abstract components (in the same rotation) are the same
-// report.
+// report. The key is computed once and cached.
 func (c *Cycle) Key() string {
-	parts := make([]string, len(c.Components))
-	for i, comp := range c.Components {
-		parts[i] = fmt.Sprintf("%s/%s/%s", comp.ThreadAbs, comp.LockAbs, comp.Context.Key())
+	if c.key == "" {
+		c.key = c.buildKey()
 	}
-	return strings.Join(parts, "~")
+	return c.key
+}
+
+// buildKey renders the component triples "abs(t)/abs(l)/C" joined by
+// "~" — the same bytes fmt.Sprintf plus strings.Join used to produce —
+// in one pass through a sized builder.
+func (c *Cycle) buildKey() string {
+	size := 0
+	for _, comp := range c.Components {
+		size += len(comp.ThreadAbs) + len(comp.LockAbs) + 3
+		for _, l := range comp.Context {
+			size += len(l) + 1
+		}
+	}
+	var b strings.Builder
+	b.Grow(size)
+	for i, comp := range c.Components {
+		if i > 0 {
+			b.WriteByte('~')
+		}
+		b.WriteString(string(comp.ThreadAbs))
+		b.WriteByte('/')
+		b.WriteString(string(comp.LockAbs))
+		b.WriteByte('/')
+		for j, l := range comp.Context {
+			if j > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(string(l))
+		}
+	}
+	return b.String()
 }
 
 // String renders the cycle in the paper's notation.
@@ -92,9 +134,41 @@ func DefaultConfig() Config {
 	return Config{Abstraction: object.ExecIndex, K: 10}
 }
 
-// chain is a dependency chain (Definition 2) under construction.
+// chain is a dependency chain (Definition 2) under construction. The
+// masks summarize the chain's thread ids, acquired-lock ids and held-set
+// ids so extendable can reject most candidates without walking deps.
 type chain struct {
-	deps []*lockset.Dep
+	deps       []*lockset.Dep
+	threadMask uint64
+	lockMask   uint64
+	heldMask   uint64
+}
+
+// extended returns ch plus d, with a freshly allocated dep slice (chains
+// of length i are still being read while length i+1 is built).
+func (ch *chain) extended(d *lockset.Dep) chain {
+	nd := make([]*lockset.Dep, len(ch.deps)+1)
+	copy(nd, ch.deps)
+	nd[len(ch.deps)] = d
+	return chain{
+		deps:       nd,
+		threadMask: ch.threadMask | tidBit(d.Thread),
+		lockMask:   ch.lockMask | idBit(d.Lock.ID),
+		heldMask:   ch.heldMask | d.HeldMask(),
+	}
+}
+
+func tidBit(t event.TID) uint64 { return 1 << (uint64(t) & 63) }
+func idBit(id uint64) uint64    { return 1 << (id & 63) }
+
+// heldBucket lists the extension candidates holding one lock, in
+// dependency order, with the largest candidate thread id: a chain whose
+// first thread is >= maxThread cannot be extended from this bucket at
+// all (Section 2.2.3 requires strictly increasing-past-the-first thread
+// ids), so the whole bucket is skipped.
+type heldBucket struct {
+	deps      []*lockset.Dep
+	maxThread event.TID
 }
 
 // Find runs Algorithm 1 on the dependency relation and returns the
@@ -112,11 +186,21 @@ func Find(deps []*lockset.Dep, cfg Config) []*Cycle {
 
 	// Index the relation by held lock: byHeld[l] lists dependencies
 	// whose L contains l, the extension candidates for a chain whose
-	// last acquired lock is l.
-	byHeld := make(map[uint64][]*lockset.Dep)
+	// last acquired lock is l. Building the index also builds each
+	// dep's sorted-id held view, so the join loop below never sorts.
+	byHeld := make(map[uint64]*heldBucket)
 	for _, d := range deps {
+		d.HeldMask()
 		for _, h := range d.Held {
-			byHeld[h.ID] = append(byHeld[h.ID], d)
+			b := byHeld[h.ID]
+			if b == nil {
+				b = &heldBucket{maxThread: event.NoThread}
+				byHeld[h.ID] = b
+			}
+			b.deps = append(b.deps, d)
+			if d.Thread > b.maxThread {
+				b.maxThread = d.Thread
+			}
 		}
 	}
 
@@ -125,9 +209,14 @@ func Find(deps []*lockset.Dep, cfg Config) []*Cycle {
 	explored := 0
 
 	// D_1: single-dependency chains.
-	cur := make([]*chain, 0, len(deps))
+	cur := make([]chain, 0, len(deps))
 	for _, d := range deps {
-		cur = append(cur, &chain{deps: []*lockset.Dep{d}})
+		cur = append(cur, chain{
+			deps:       []*lockset.Dep{d},
+			threadMask: tidBit(d.Thread),
+			lockMask:   idBit(d.Lock.ID),
+			heldMask:   d.HeldMask(),
+		})
 	}
 
 	for i := 1; len(cur) > 0; i++ {
@@ -136,10 +225,15 @@ func Find(deps []*lockset.Dep, cfg Config) []*Cycle {
 			// cycle-hood when they were built (below); stop extending.
 			break
 		}
-		var next []*chain
-		for _, ch := range cur {
-			last := ch.deps[len(ch.deps)-1]
-			for _, d := range byHeld[last.Lock.ID] {
+		var next []chain
+		for ci := range cur {
+			ch := &cur[ci]
+			first := ch.deps[0]
+			bucket := byHeld[ch.deps[len(ch.deps)-1].Lock.ID]
+			if bucket == nil || bucket.maxThread <= first.Thread {
+				continue
+			}
+			for _, d := range bucket.deps {
 				if !extendable(ch, d) {
 					continue
 				}
@@ -158,10 +252,7 @@ func Find(deps []*lockset.Dep, cfg Config) []*Cycle {
 					// decompose into simpler ones are not reported.
 					continue
 				}
-				nd := make([]*lockset.Dep, len(ch.deps)+1)
-				copy(nd, ch.deps)
-				nd[len(ch.deps)] = d
-				next = append(next, &chain{deps: nd})
+				next = append(next, ch.extended(d))
 			}
 		}
 		cur = next
@@ -170,25 +261,31 @@ func Find(deps []*lockset.Dep, cfg Config) []*Cycle {
 }
 
 // extendable checks Definition 2 plus the duplicate-suppression order
-// constraint (Section 2.2.3) for appending d to ch.
+// constraint (Section 2.2.3) for appending d to ch. The chain masks
+// prove most candidates pairwise-distinct and disjoint outright; only
+// mask collisions fall through to the exact elementwise checks.
 func extendable(ch *chain, d *lockset.Dep) bool {
 	first := ch.deps[0]
 	// Duplicate suppression: thread ids after the first must exceed it.
 	if d.Thread <= first.Thread {
 		return false
 	}
-	for _, e := range ch.deps {
-		// (1) threads pairwise distinct.
-		if e.Thread == d.Thread {
-			return false
-		}
-		// (2) locks pairwise distinct.
-		if e.Lock.ID == d.Lock.ID {
-			return false
-		}
-		// (4) held sets pairwise disjoint.
-		if e.Overlaps(d) {
-			return false
+	if ch.threadMask&tidBit(d.Thread) != 0 ||
+		ch.lockMask&idBit(d.Lock.ID) != 0 ||
+		ch.heldMask&d.HeldMask() != 0 {
+		for _, e := range ch.deps {
+			// (1) threads pairwise distinct.
+			if e.Thread == d.Thread {
+				return false
+			}
+			// (2) locks pairwise distinct.
+			if e.Lock.ID == d.Lock.ID {
+				return false
+			}
+			// (4) held sets pairwise disjoint.
+			if e.Overlaps(d) {
+				return false
+			}
 		}
 	}
 	// (3) the previous lock is held by the new component — guaranteed
@@ -202,9 +299,10 @@ func closes(ch *chain, d *lockset.Dep) bool {
 	return ch.deps[0].Holds(d.Lock)
 }
 
-// report builds the abstract cycle for chain ch extended with d.
+// report builds the abstract cycle for chain ch extended with d, and
+// seals its dedup key.
 func report(ch *chain, d *lockset.Dep, cfg Config) *Cycle {
-	cyc := &Cycle{}
+	cyc := &Cycle{Components: make([]Component, 0, len(ch.deps)+1)}
 	add := func(dep *lockset.Dep) {
 		cyc.Components = append(cyc.Components, Component{
 			Dep:       dep,
@@ -217,5 +315,6 @@ func report(ch *chain, d *lockset.Dep, cfg Config) *Cycle {
 		add(dep)
 	}
 	add(d)
+	cyc.Key()
 	return cyc
 }

@@ -10,6 +10,7 @@ package lockset
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"dlfuzz/internal/event"
@@ -33,6 +34,15 @@ type Dep struct {
 	// ClockSource was attached to the recorder; nil otherwise. Used by
 	// the happens-before cycle filter.
 	VC []uint64
+
+	// heldIDs is Held's ids sorted ascending and heldMask a 64-bit
+	// membership filter over id&63, built once by index() so that Holds
+	// and Overlaps are mask-and-merge checks instead of nested scans.
+	// Built lazily (Dep literals in tests never call index) and
+	// memoized; the first call must not race, so the recorder builds
+	// them at record time and iGoodlock before its join loop.
+	heldIDs  []uint64
+	heldMask uint64
 }
 
 // Loc returns the label of the acquire statement itself (the last
@@ -41,24 +51,63 @@ func (d *Dep) Loc() event.Loc {
 	return d.Context[len(d.Context)-1]
 }
 
+// index builds the sorted-id view of Held, once.
+func (d *Dep) index() {
+	if d.heldIDs != nil || len(d.Held) == 0 {
+		return
+	}
+	ids := make([]uint64, len(d.Held))
+	for i, h := range d.Held {
+		ids[i] = h.ID
+		d.heldMask |= 1 << (h.ID & 63)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	d.heldIDs = ids
+}
+
+// HeldMask returns the 64-bit membership filter over the held-set ids:
+// a zero intersection of two masks proves two held sets disjoint.
+func (d *Dep) HeldMask() uint64 {
+	d.index()
+	return d.heldMask
+}
+
 // Holds reports whether l is in the dependency's held set.
 func (d *Dep) Holds(l *object.Obj) bool {
-	for _, h := range d.Held {
-		if h.ID == l.ID {
+	d.index()
+	if d.heldMask&(1<<(l.ID&63)) == 0 {
+		return false
+	}
+	for _, id := range d.heldIDs {
+		if id == l.ID {
 			return true
+		}
+		if id > l.ID {
+			return false
 		}
 	}
 	return false
 }
 
 // Overlaps reports whether the held sets of d and e intersect (the
-// L_i ∩ L_j = ∅ condition of Definition 2 is its negation).
+// L_i ∩ L_j = ∅ condition of Definition 2 is its negation). The mask
+// test settles most disjoint pairs; the rest take one merge scan of the
+// two sorted id slices.
 func (d *Dep) Overlaps(e *Dep) bool {
-	for _, a := range d.Held {
-		for _, b := range e.Held {
-			if a.ID == b.ID {
-				return true
-			}
+	d.index()
+	e.index()
+	if d.heldMask&e.heldMask == 0 {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(d.heldIDs) && j < len(e.heldIDs) {
+		switch {
+		case d.heldIDs[i] == e.heldIDs[j]:
+			return true
+		case d.heldIDs[i] < e.heldIDs[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	return false
@@ -74,19 +123,6 @@ func (d *Dep) String() string {
 		d.Thread, strings.Join(held, ","), d.Lock.ID, d.Context)
 }
 
-// key identifies a dependency up to the information Definition 2 uses,
-// so repeated executions of the same acquire (e.g. in a loop) do not
-// bloat D.
-func (d *Dep) key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%d;", d.Thread)
-	for _, h := range d.Held {
-		fmt.Fprintf(&b, "%d,", h.ID)
-	}
-	fmt.Fprintf(&b, ";%d;%s", d.Lock.ID, d.Context.Key())
-	return b.String()
-}
-
 // ClockSource supplies per-thread vector clocks; hb.Tracker implements
 // it. When attached to a Recorder it must be registered as an observer
 // *before* the recorder so clocks are up to date when deps are recorded.
@@ -94,17 +130,26 @@ type ClockSource interface {
 	Clock(t event.TID) []uint64
 }
 
+// depKey is the integer part of a dependency's identity; the slice parts
+// (Held, Context) are compared elementwise within a key's bucket. This
+// replaces the fmt-built string key: exact dedup with no per-event
+// formatting or key allocation.
+type depKey struct {
+	thread event.TID
+	lock   uint64
+}
+
 // Recorder observes an execution and accumulates the dependency relation.
 // It implements sched.Observer.
 type Recorder struct {
 	deps   []*Dep
-	seen   map[string]bool
+	seen   map[depKey][]*Dep
 	clocks ClockSource
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	return &Recorder{seen: make(map[string]bool)}
+	return &Recorder{seen: make(map[depKey][]*Dep)}
 }
 
 // WithClocks attaches a clock source and returns the recorder.
@@ -117,9 +162,18 @@ func (r *Recorder) WithClocks(cs ClockSource) *Recorder {
 // with empty L cannot appear in any cycle — Definition 3 requires
 // l_m ∈ L_1 and Definition 2 requires l_{i-1} ∈ L_i, so every component
 // of a cycle holds at least one lock — and is dropped to keep D small.
+// Repeated executions of the same acquire (e.g. in a loop) dedup against
+// the (thread, lock) bucket so they do not bloat D.
 func (r *Recorder) OnEvent(ev sched.Ev) {
 	if ev.Kind != event.KindAcquire || len(ev.LockSet) == 0 {
 		return
+	}
+	k := depKey{thread: ev.Thread, lock: ev.Obj.ID}
+	bucket := r.seen[k]
+	for _, d := range bucket {
+		if sameHeld(d.Held, ev.LockSet) && d.Context.Equal(ev.Context) {
+			return
+		}
 	}
 	d := &Dep{
 		Thread:    ev.Thread,
@@ -128,15 +182,25 @@ func (r *Recorder) OnEvent(ev sched.Ev) {
 		Lock:      ev.Obj,
 		Context:   ev.Context,
 	}
-	k := d.key()
-	if r.seen[k] {
-		return
-	}
+	d.index()
 	if r.clocks != nil {
 		d.VC = r.clocks.Clock(ev.Thread)
 	}
-	r.seen[k] = true
+	r.seen[k] = append(bucket, d)
 	r.deps = append(r.deps, d)
+}
+
+// sameHeld reports whether two held stacks are the same lock sequence.
+func sameHeld(a, b []*object.Obj) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return false
+		}
+	}
+	return true
 }
 
 // Deps returns the recorded relation in observation order.

@@ -80,3 +80,11 @@ func (x *Indexer) Step(c event.Loc) {
 
 // Depth returns the current call depth (number of open frames).
 func (x *Indexer) Depth() int { return len(x.stack) }
+
+// Reset returns the indexer to its initial depth-0 state, keeping the
+// allocated frames and counter maps for reuse. (Deeper counter frames
+// need no clearing here: Call clears a reused frame before use.)
+func (x *Indexer) Reset() {
+	x.stack = x.stack[:0]
+	clear(x.counters[0])
+}

@@ -162,3 +162,8 @@ func (a *Allocator) New(typ string, site event.Loc, creator *Obj, index []IndexE
 
 // Count returns how many objects have been allocated.
 func (a *Allocator) Count() uint64 { return a.next }
+
+// Reset restarts the id sequence, so a recycled allocator mints exactly
+// the ids a fresh one would. Previously minted Objs stay valid: they are
+// never pooled, precisely because their identity outlives the execution.
+func (a *Allocator) Reset() { a.next = 0 }

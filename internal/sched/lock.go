@@ -21,6 +21,14 @@ type lockState struct {
 
 func (ls *lockState) free() bool { return ls.holder == event.NoThread }
 
+// recycle resets the state for the scheduler's lock-state free list.
+func (ls *lockState) recycle() {
+	ls.obj = nil
+	ls.holder = event.NoThread
+	ls.depth = 0
+	ls.waitset = ls.waitset[:0]
+}
+
 // Latch is a one-shot broadcast synchronization object used to model
 // condition-style communication (thread start/stop handshakes, Java-style
 // waitForRunner patterns). Await blocks until some thread Signals the

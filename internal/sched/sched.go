@@ -14,6 +14,14 @@
 // moment an Acquire blocks, it checks the wait-for graph for a cycle and,
 // if one exists, ends the run with a DeadlockInfo carrying the full
 // context of every edge.
+//
+// The execution hot path is engineered to be allocation-free at steady
+// state (see DESIGN.md "Performance"): the per-thread lockstep handshake
+// is one bidirectional channel, event snapshots of lock and context
+// stacks are O(1) persistent shares guarded by copy-on-write watermarks
+// rather than per-event clones, the wait-for graph and the enabled set
+// are reused scratch buffers, and a Pool recycles whole scheduler/thread
+// shells across the seeded runs of a campaign.
 package sched
 
 import (
@@ -30,14 +38,16 @@ import (
 // sets, contexts, abstractions) and its seeded RNG.
 //
 // Next must return one of the TIDs in enabled; enabled is non-empty and
-// sorted ascending.
+// sorted ascending. The slice is a buffer the scheduler reuses between
+// steps: policies may read it freely during the call but must not retain
+// it.
 type Policy interface {
 	Next(s *Scheduler, enabled []event.TID) event.TID
 }
 
 // Ev is one observed dynamic statement, delivered to observers after its
 // effect is applied. LockSet and Context are only populated for Acquire
-// and Release events (cloned snapshots; see field docs).
+// and Release events (immutable snapshots; see field docs).
 type Ev struct {
 	Seq       uint64
 	Kind      event.Kind
@@ -52,9 +62,11 @@ type Ev struct {
 	Target event.TID
 	// LockSet is, for Acquire, the set of locks held *before* the
 	// acquire (the paper's L), and for Release the set held after.
+	// The slice is an immutable snapshot: observers may retain it but
+	// must not modify it.
 	LockSet []*object.Obj
 	// Context is, for Acquire, the acquire-site stack *including* the
-	// current site (the paper's C).
+	// current site (the paper's C). Immutable, like LockSet.
 	Context event.Context
 }
 
@@ -86,6 +98,8 @@ type Scheduler struct {
 	policy  Policy
 	alloc   object.Allocator
 	threads []*Thread
+	// latches and locks are allocated lazily: most workloads use no
+	// latches, and pooled schedulers keep (cleared) maps across runs.
 	latches map[uint64]*Latch
 	locks   map[uint64]*lockState
 
@@ -93,24 +107,45 @@ type Scheduler struct {
 	seq      uint64
 	deadlock *DeadlockInfo
 	panicVal any
+
+	// pool, when non-nil, supplies recycled thread shells and receives
+	// this scheduler back after Pool.Run.
+	pool *Pool
+	// freeLocks is the lockState free list, retained across pooled runs.
+	freeLocks []*lockState
+	// wfg, enabledBuf and aliveBuf are reusable scratch state for the
+	// per-step hot path.
+	wfg        *waitgraph.Graph
+	enabledBuf []event.TID
+	aliveBuf   []event.TID
 }
 
 // New returns a scheduler configured by opts.
 func New(opts Options) *Scheduler {
+	s := &Scheduler{}
+	s.init(opts)
+	return s
+}
+
+// init (re)configures a fresh or recycled scheduler for one execution.
+// Recycled schedulers arrive with zeroed run state (see Pool.put); init
+// only has to re-arm the options, RNG and policy.
+func (s *Scheduler) init(opts Options) {
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = defaultMaxSteps
 	}
-	s := &Scheduler{
-		opts:    opts,
-		rng:     rand.New(rand.NewSource(opts.Seed)),
-		policy:  opts.Policy,
-		latches: make(map[uint64]*Latch),
-		locks:   make(map[uint64]*lockState),
+	s.opts = opts
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(opts.Seed))
+	} else {
+		// Re-seeding produces the identical stream to a fresh
+		// rand.New(rand.NewSource(seed)), without the two allocations.
+		s.rng.Seed(opts.Seed)
 	}
+	s.policy = opts.Policy
 	if s.policy == nil {
 		s.policy = RandomPolicy{}
 	}
-	return s
 }
 
 // Rand returns the execution's RNG. Policies draw from it so that one
@@ -150,31 +185,45 @@ func (s *Scheduler) Allocated() uint64 { return s.alloc.Count() }
 func (s *Scheduler) lock(o *object.Obj) *lockState {
 	ls, ok := s.locks[o.ID]
 	if !ok {
-		ls = &lockState{obj: o, holder: event.NoThread}
+		if s.locks == nil {
+			s.locks = make(map[uint64]*lockState)
+		}
+		if n := len(s.freeLocks); n > 0 {
+			ls = s.freeLocks[n-1]
+			s.freeLocks = s.freeLocks[:n-1]
+		} else {
+			ls = &lockState{}
+		}
+		ls.obj = o
+		ls.holder = event.NoThread
 		s.locks[o.ID] = ls
 	}
 	return ls
 }
 
+// registerLatch records a latch created by Ctx.NewLatch, allocating the
+// latch table on first use.
+func (s *Scheduler) registerLatch(l *Latch) {
+	if s.latches == nil {
+		s.latches = make(map[uint64]*Latch)
+	}
+	s.latches[l.obj.ID] = l
+}
+
 // newThread registers a thread structure (without starting its goroutine).
 func (s *Scheduler) newThread(name string, obj *object.Obj, body func(*Ctx)) *Thread {
-	t := &Thread{
-		id:      event.TID(len(s.threads)),
-		name:    name,
-		obj:     obj,
-		sched:   s,
-		resume:  make(chan bool),
-		posted:  make(chan struct{}),
-		done:    make(chan struct{}),
-		alive:   true,
-		indexer: object.NewIndexer(),
-	}
+	t := s.takeThread()
+	t.id = event.TID(len(s.threads))
+	t.name = name
+	t.obj = obj
+	t.sched = s
+	t.alive = true
 	s.threads = append(s.threads, t)
 	// Launch the goroutine and run it to its first scheduling point.
 	// Only this goroutine runs until it posts, so determinism holds.
 	t.started = true
 	go func() {
-		defer close(t.done)
+		defer func() { t.done <- struct{}{} }()
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(abortPanic); ok {
@@ -183,16 +232,32 @@ func (s *Scheduler) newThread(name string, obj *object.Obj, body func(*Ctx)) *Th
 				// Propagate user panics to Run via the scheduler.
 				t.pending = Request{Kind: event.KindExit}
 				s.panicVal = r
-				t.posted <- struct{}{}
+				t.hs <- true
 				return
 			}
 		}()
 		body(&Ctx{t: t})
 		t.pending = Request{Kind: event.KindExit}
-		t.posted <- struct{}{}
+		t.hs <- true
 	}()
-	<-t.posted
+	<-t.hs
 	return t
+}
+
+// takeThread returns a recycled thread shell from the pool, or a fresh
+// one. Recycled shells were fully reset at recycle time; their channels
+// and stack/indexer capacity carry over.
+func (s *Scheduler) takeThread() *Thread {
+	if s.pool != nil {
+		if t := s.pool.takeThread(); t != nil {
+			return t
+		}
+	}
+	return &Thread{
+		hs:      make(chan bool),
+		done:    make(chan struct{}, 1),
+		indexer: object.NewIndexer(),
+	}
 }
 
 // Run executes main as the initial thread and returns the result.
@@ -250,7 +315,7 @@ func (s *Scheduler) Run(main func(*Ctx)) *Result {
 func (s *Scheduler) teardown() {
 	for _, t := range s.threads {
 		if t.alive && t.pending.Kind != event.KindExit {
-			t.resume <- false
+			t.hs <- false
 		}
 		<-t.done
 	}
@@ -258,14 +323,16 @@ func (s *Scheduler) teardown() {
 
 // AliveTIDs returns the ids of all non-terminated threads in ascending
 // order. Policies use it to inspect blocked threads, which never appear
-// in the enabled set.
+// in the enabled set. The returned slice is a reused buffer, valid only
+// until the next AliveTIDs call; callers must not retain it.
 func (s *Scheduler) AliveTIDs() []event.TID {
-	var out []event.TID
+	out := s.aliveBuf[:0]
 	for _, t := range s.threads {
 		if t.alive {
 			out = append(out, t.id)
 		}
 	}
+	s.aliveBuf = out
 	return out
 }
 
@@ -285,14 +352,16 @@ func (s *Scheduler) Enabled(t event.TID) bool {
 	return s.threads[t].alive && s.executable(s.threads[t])
 }
 
-// enabled returns the executable threads in ascending TID order.
+// enabled returns the executable threads in ascending TID order, in a
+// buffer reused across steps.
 func (s *Scheduler) enabled() []event.TID {
-	var out []event.TID
+	out := s.enabledBuf[:0]
 	for _, t := range s.threads {
 		if t.alive && s.executable(t) {
 			out = append(out, t.id)
 		}
 	}
+	s.enabledBuf = out
 	return out
 }
 
@@ -326,23 +395,23 @@ func (s *Scheduler) emit(ev Ev) {
 	}
 }
 
-// snapshotLocks clones t's lock stack for an event, but only when someone
-// is listening.
+// snapshotLocks publishes t's lock stack for an event, but only when
+// someone is listening. The snapshot is an O(1) share of the live stack;
+// the thread's copy-on-write watermark guarantees it is never mutated.
 func (s *Scheduler) snapshotLocks(t *Thread) []*object.Obj {
 	if len(s.opts.Observers) == 0 {
 		return nil
 	}
-	out := make([]*object.Obj, len(t.lockStack))
-	copy(out, t.lockStack)
-	return out
+	return t.publishLocks()
 }
 
-// snapshotContext clones t's context stack for an event.
+// snapshotContext publishes t's context stack for an event; O(1), like
+// snapshotLocks.
 func (s *Scheduler) snapshotContext(t *Thread) event.Context {
 	if len(s.opts.Observers) == 0 {
 		return nil
 	}
-	return t.ctxStack.Clone()
+	return t.publishCtx()
 }
 
 // execute applies t's pending request, resumes t, and waits for its next
@@ -368,8 +437,8 @@ func (s *Scheduler) execute(t *Thread) {
 				site = t.waitLoc
 			}
 			held := s.snapshotLocks(t)
-			t.ctxStack = append(t.ctxStack, site)
-			t.lockStack = append(t.lockStack, r.Obj)
+			t.pushCtx(site)
+			t.pushLock(r.Obj)
 			ev := base
 			ev.Obj = r.Obj
 			ev.LockSet = held
@@ -506,8 +575,8 @@ func (s *Scheduler) execute(t *Thread) {
 		return
 	}
 
-	t.resume <- true
-	<-t.posted
+	t.hs <- true
+	<-t.hs
 	if t.pending.Kind == event.KindExit {
 		t.alive = false
 		s.emit(Ev{Kind: event.KindExit, Thread: t.id, ThreadObj: t.obj})
@@ -543,9 +612,14 @@ func (s *Scheduler) wake(ls *lockState, all bool) []event.TID {
 }
 
 // buildWaitGraph constructs the wait-for graph over currently blocked
-// threads (alive, pending Acquire on a lock held by someone else).
+// threads (alive, pending Acquire on a lock held by someone else) in the
+// scheduler's reusable scratch graph.
 func (s *Scheduler) buildWaitGraph() *waitgraph.Graph {
-	g := waitgraph.New()
+	if s.wfg == nil {
+		s.wfg = waitgraph.New()
+	}
+	g := s.wfg
+	g.Reset()
 	for _, t := range s.threads {
 		if !t.alive || t.pending.Kind != event.KindAcquire {
 			continue
@@ -579,14 +653,17 @@ func (s *Scheduler) findDeadlock() *DeadlockInfo {
 	return s.describeCycle(cycles[0])
 }
 
-// describeCycle fills in the DeadlockInfo for a TID cycle.
+// describeCycle fills in the DeadlockInfo for a TID cycle. The edge
+// stacks are deep-copied: a DeadlockInfo outlives the execution (and any
+// pooled reuse of its scheduler).
 func (s *Scheduler) describeCycle(cyc []event.TID) *DeadlockInfo {
 	info := &DeadlockInfo{Step: s.steps}
 	for _, tid := range cyc {
 		t := s.threads[tid]
 		held := make([]*object.Obj, len(t.lockStack))
 		copy(held, t.lockStack)
-		ctx := t.ctxStack.Clone()
+		ctx := make(event.Context, len(t.ctxStack), len(t.ctxStack)+1)
+		copy(ctx, t.ctxStack)
 		ctx = append(ctx, t.pending.Loc)
 		info.Edges = append(info.Edges, DeadlockEdge{
 			Thread:    tid,

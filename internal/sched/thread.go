@@ -12,16 +12,23 @@ type abortPanic struct{}
 
 // Thread is one simulated thread. All fields are owned by the scheduler
 // goroutine; the thread goroutine only touches them inside post(), which
-// is serialized with the scheduler by the handshake channels.
+// is serialized with the scheduler by the handshake channel.
 type Thread struct {
 	id    event.TID
 	name  string
 	obj   *object.Obj // the thread object, carries the abstractions
 	sched *Scheduler
 
-	resume chan bool     // scheduler -> thread: true = proceed, false = abort
-	posted chan struct{} // thread -> scheduler: pending request is ready
-	done   chan struct{} // closed when the goroutine exits
+	// hs is the single bidirectional handshake channel. The lockstep
+	// protocol strictly alternates directions, so one unbuffered channel
+	// carries both signals: thread -> scheduler sends mean "pending
+	// request posted" (the value is ignored), scheduler -> thread sends
+	// mean "resume" (true = proceed, false = abort and unwind).
+	hs chan bool
+	// done receives exactly one value when the goroutine exits. It is
+	// buffered so the exiting goroutine never blocks, and drained by
+	// teardown, which leaves it empty for pooled reuse of the shell.
+	done chan struct{}
 
 	pending Request
 	alive   bool
@@ -34,8 +41,19 @@ type Thread struct {
 
 	// Dynamic state maintained by the scheduler as the thread executes,
 	// mirroring the paper's LockSet[t] and Context[t] stacks.
-	lockStack []*object.Obj
-	ctxStack  event.Context
+	//
+	// Event snapshots of these stacks are persistent O(1) shares rather
+	// than copies: publishLocks/publishCtx hand out a capped prefix of
+	// the live stack and raise the shared watermark to its length.
+	// Pushes below the watermark would mutate a slot some retained
+	// snapshot can still see, so they first copy the live prefix to a
+	// fresh array (copy-on-write) and reset the watermark; pushes at or
+	// above it, and all pops, reuse the array freely.
+	lockStack  []*object.Obj
+	ctxStack   event.Context
+	lockShared int // watermark: max published lockStack length
+	ctxShared  int // watermark: max published ctxStack length
+
 	thisStack []*object.Obj // receiver objects of open calls
 	indexer   *object.Indexer
 
@@ -64,6 +82,92 @@ func (t *Thread) this() *object.Obj {
 	return t.thisStack[len(t.thisStack)-1]
 }
 
+// pushLock appends a lock to the live stack, copying on write when the
+// target slot is visible to a retained snapshot.
+func (t *Thread) pushLock(o *object.Obj) {
+	n := len(t.lockStack)
+	if n < t.lockShared {
+		fresh := make([]*object.Obj, n, cap(t.lockStack)+1)
+		copy(fresh, t.lockStack)
+		t.lockStack = fresh
+		t.lockShared = 0
+	} else if n == cap(t.lockStack) {
+		// append below grows onto a fresh array nothing aliases.
+		t.lockShared = 0
+	}
+	t.lockStack = append(t.lockStack, o)
+}
+
+// pushCtx appends an acquire site to the live context stack; same
+// copy-on-write discipline as pushLock.
+func (t *Thread) pushCtx(site event.Loc) {
+	n := len(t.ctxStack)
+	if n < t.ctxShared {
+		fresh := make(event.Context, n, cap(t.ctxStack)+1)
+		copy(fresh, t.ctxStack)
+		t.ctxStack = fresh
+		t.ctxShared = 0
+	} else if n == cap(t.ctxStack) {
+		t.ctxShared = 0
+	}
+	t.ctxStack = append(t.ctxStack, site)
+}
+
+// publishLocks returns an immutable snapshot of the lock stack in O(1):
+// a full-slice-expression prefix (so appends by a holder cannot write
+// into the live array) with the watermark raised to protect it.
+func (t *Thread) publishLocks() []*object.Obj {
+	n := len(t.lockStack)
+	if n > t.lockShared {
+		t.lockShared = n
+	}
+	return t.lockStack[:n:n]
+}
+
+// publishCtx returns an immutable O(1) snapshot of the context stack.
+func (t *Thread) publishCtx() event.Context {
+	n := len(t.ctxStack)
+	if n > t.ctxShared {
+		t.ctxShared = n
+	}
+	return t.ctxStack[:n:n]
+}
+
+// recycle resets a thread shell for reuse by a pooled scheduler. The
+// handshake channels and the stack/indexer capacity are retained; stack
+// slots below the watermarks are still aliased by snapshots retained
+// from the finished run (e.g. lockset deps), so only slots at or above
+// the watermark are zeroed.
+func (t *Thread) recycle() {
+	t.name = ""
+	t.obj = nil
+	t.sched = nil
+	t.pending = Request{}
+	t.alive = false
+	t.started = false
+	t.aborted = false
+	t.retObj = nil
+	t.retThread = nil
+	ls := t.lockStack[:cap(t.lockStack)]
+	for i := t.lockShared; i < len(ls); i++ {
+		ls[i] = nil
+	}
+	cs := t.ctxStack[:cap(t.ctxStack)]
+	for i := t.ctxShared; i < len(cs); i++ {
+		cs[i] = event.NoLoc
+	}
+	t.lockStack = t.lockStack[:0]
+	t.ctxStack = t.ctxStack[:0]
+	for i := range t.thisStack {
+		t.thisStack[i] = nil
+	}
+	t.thisStack = t.thisStack[:0]
+	t.indexer.Reset()
+	t.notified = false
+	t.waitDepth = 0
+	t.waitLoc = event.NoLoc
+}
+
 // post hands the pending request to the scheduler and blocks until the
 // scheduler executes it. It panics with abortPanic when the scheduler is
 // tearing down — including on re-entry from deferred cleanup (e.g. the
@@ -73,8 +177,8 @@ func (t *Thread) post(r Request) {
 		panic(abortPanic{})
 	}
 	t.pending = r
-	t.posted <- struct{}{}
-	if !<-t.resume {
+	t.hs <- true
+	if !<-t.hs {
 		t.aborted = true
 		panic(abortPanic{})
 	}
@@ -159,7 +263,7 @@ func (c *Ctx) Work(n int, site event.Loc) {
 func (c *Ctx) NewLatch(site event.Loc) *Latch {
 	obj := c.New("Latch", site)
 	l := &Latch{obj: obj}
-	c.t.sched.latches[obj.ID] = l
+	c.t.sched.registerLatch(l)
 	return l
 }
 

@@ -5,53 +5,96 @@
 // and each held lock has exactly one holder, so the wait-for relation is
 // a functional graph over threads: t -> holder(want(t)). A resource
 // deadlock is exactly a cycle in this graph.
+//
+// Because the scheduler rebuilds the graph on every blocked acquire
+// (Algorithm 4 runs the check the moment a thread starts waiting), the
+// representation is a dense slice indexed by TID rather than a map, and
+// a Graph is reusable via Reset: steady-state construction and cycle
+// detection allocate nothing.
 package waitgraph
 
 import "dlfuzz/internal/event"
 
-// Graph is a wait-for graph under construction. The zero value is empty
-// and ready to use after New.
+// Graph is a wait-for graph. Use New to create one and Reset to reuse it
+// across states; both construction and CycleFrom are allocation-free at
+// steady state.
 type Graph struct {
-	next map[event.TID]event.TID
+	next []event.TID // next[t] = holder t waits for; NoThread = not waiting
+	n    int         // number of waiting threads
+	// chain is CycleFrom's scratch walk buffer, reused across calls.
+	chain []event.TID
 }
 
 // New returns an empty wait-for graph.
 func New() *Graph {
-	return &Graph{next: make(map[event.TID]event.TID)}
+	return &Graph{}
+}
+
+// Reset empties the graph, keeping its capacity for reuse. Slices
+// previously returned by CycleFrom are invalidated.
+func (g *Graph) Reset() {
+	for i := range g.next {
+		g.next[i] = event.NoThread
+	}
+	g.n = 0
 }
 
 // Wait records that thread t is blocked on a lock held by holder.
 // Self-edges are ignored: a thread re-entering its own lock never waits.
 func (g *Graph) Wait(t, holder event.TID) {
-	if t == holder {
+	if t == holder || t < 0 {
 		return
+	}
+	max := t
+	if holder > max {
+		max = holder
+	}
+	for len(g.next) <= int(max) {
+		g.next = append(g.next, event.NoThread)
+	}
+	if g.next[t] == event.NoThread {
+		g.n++
 	}
 	g.next[t] = holder
 }
 
 // Len returns the number of waiting threads.
-func (g *Graph) Len() int { return len(g.next) }
+func (g *Graph) Len() int { return g.n }
+
+// edge returns the thread t waits for, or NoThread.
+func (g *Graph) edge(t event.TID) event.TID {
+	if t < 0 || int(t) >= len(g.next) {
+		return event.NoThread
+	}
+	return g.next[t]
+}
 
 // CycleFrom returns the cycle reachable from start, if start's wait chain
-// loops back onto itself. The returned slice lists the threads in wait
-// order starting at the first thread on the cycle; it is nil when the
-// chain ends at a running (non-waiting) thread or loops without
-// containing start... more precisely, it returns any cycle the chain from
-// start runs into, which for deadlock checking is reported the moment the
+// runs into one: the threads in wait order starting at the first thread
+// on the cycle, or nil when the chain ends at a running (non-waiting)
+// thread. For deadlock checking the cycle is reported the moment the
 // closing edge is added.
+//
+// The returned slice is a shared scratch buffer, valid only until the
+// next CycleFrom, Wait or Reset call on g; callers that retain it must
+// copy.
 func (g *Graph) CycleFrom(start event.TID) []event.TID {
-	seen := make(map[event.TID]int)
-	var chain []event.TID
+	chain := g.chain[:0]
 	cur := start
 	for {
-		if i, ok := seen[cur]; ok {
-			return chain[i:]
+		// The walk is at most one lap around a cycle plus its tail, and
+		// real cycles are tiny, so a linear membership scan beats a map.
+		for i, c := range chain {
+			if c == cur {
+				g.chain = chain
+				return chain[i:]
+			}
 		}
-		nxt, ok := g.next[cur]
-		if !ok {
+		nxt := g.edge(cur)
+		if nxt == event.NoThread {
+			g.chain = chain
 			return nil
 		}
-		seen[cur] = len(chain)
 		chain = append(chain, cur)
 		cur = nxt
 	}
@@ -59,38 +102,26 @@ func (g *Graph) CycleFrom(start event.TID) []event.TID {
 
 // Cycles returns every cycle in the graph, each starting at its smallest
 // TID, in ascending order of that TID. Used by analyses that inspect a
-// whole stalled state rather than a single closing edge.
+// whole stalled state rather than a single closing edge. The returned
+// cycles are freshly allocated copies, safe to retain.
 func (g *Graph) Cycles() [][]event.TID {
-	visited := make(map[event.TID]bool)
+	visited := make([]bool, len(g.next))
 	var cycles [][]event.TID
-	// Iterate in deterministic TID order.
-	var tids []event.TID
 	for t := range g.next {
-		tids = append(tids, t)
-	}
-	for i := 1; i < len(tids); i++ {
-		for j := i; j > 0 && tids[j] < tids[j-1]; j-- {
-			tids[j], tids[j-1] = tids[j-1], tids[j]
-		}
-	}
-	for _, t := range tids {
-		if visited[t] {
+		tid := event.TID(t)
+		if g.next[t] == event.NoThread || visited[t] {
 			continue
 		}
-		cyc := g.CycleFrom(t)
-		onCycle := make(map[event.TID]bool, len(cyc))
-		for _, c := range cyc {
-			onCycle[c] = true
-		}
+		cyc := g.CycleFrom(tid)
 		// Mark the whole chain visited so shared tails are not re-walked.
-		cur := t
+		cur := tid
 		for {
 			if visited[cur] {
 				break
 			}
 			visited[cur] = true
-			nxt, ok := g.next[cur]
-			if !ok {
+			nxt := g.edge(cur)
+			if nxt == event.NoThread {
 				break
 			}
 			cur = nxt
@@ -98,10 +129,9 @@ func (g *Graph) Cycles() [][]event.TID {
 		if len(cyc) == 0 {
 			continue
 		}
-		// Canonicalize: rotate so the smallest TID leads, and only
-		// report the cycle when this walk discovered it (its members
-		// were not already claimed by an earlier cycle).
-		if claimedElsewhere(cyc, onCycle, cycles) {
+		// Only report the cycle when this walk discovered it (its
+		// members were not already claimed by an earlier cycle).
+		if claimedElsewhere(cyc, cycles) {
 			continue
 		}
 		cycles = append(cycles, rotateMin(cyc))
@@ -110,7 +140,7 @@ func (g *Graph) Cycles() [][]event.TID {
 }
 
 // claimedElsewhere reports whether cyc was already reported.
-func claimedElsewhere(cyc []event.TID, _ map[event.TID]bool, prior [][]event.TID) bool {
+func claimedElsewhere(cyc []event.TID, prior [][]event.TID) bool {
 	for _, p := range prior {
 		for _, t := range p {
 			for _, c := range cyc {
@@ -123,7 +153,8 @@ func claimedElsewhere(cyc []event.TID, _ map[event.TID]bool, prior [][]event.TID
 	return false
 }
 
-// rotateMin rotates the cycle so its smallest TID comes first.
+// rotateMin returns a fresh copy of the cycle rotated so its smallest
+// TID comes first.
 func rotateMin(cyc []event.TID) []event.TID {
 	mi := 0
 	for i, t := range cyc {

@@ -10,7 +10,10 @@
 #                          must be race-clean
 #   5. fuzz smoke        — FuzzParser explores for a few seconds from
 #                          the testdata-seeded corpus
-#   6. pipeline bench    — machine-readable Check cost over the Figure-2
+#   6. bench smoke       — every benchmark runs once, so benchmark-only
+#                          code paths (pooled runners, allocation
+#                          reporting) cannot rot between perf runs
+#   7. pipeline bench    — machine-readable Check cost over the Figure-2
 #                          workloads (BENCH_pipeline.json), tracking the
 #                          multi-cycle campaign's execution counts
 #
@@ -36,6 +39,9 @@ go test -race ./internal/analysis/ ./internal/campaign/ ./internal/harness/
 
 echo "== fuzz smoke: FuzzParser for ${FUZZTIME} =="
 go test -run=Fuzz -fuzz=FuzzParser -fuzztime="${FUZZTIME}" ./internal/lang/
+
+echo "== bench smoke: every benchmark once =="
+go test -run='^$' -bench=. -benchtime=1x .
 
 echo "== pipeline bench: Check cost over Figure-2 workloads =="
 go run ./cmd/dlbench -pipeline-json BENCH_pipeline.json -runs "${BENCHRUNS}"
