@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build test race bench bench-smoke profile fuzz-smoke vet
+.PHONY: ci build test race bench bench-smoke profile fuzz-smoke vet replay-smoke
 
 ci:
 	./scripts/ci.sh
@@ -18,7 +18,17 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/analysis/ ./internal/campaign/ ./internal/harness/
+	$(GO) test -race ./internal/analysis/ ./internal/campaign/ ./internal/harness/ \
+		./internal/obs/ ./cmd/dlfuzz/
+
+# Fuzz philosophers with -witness-dir, then replay every emitted witness
+# and require each recorded deadlock to reproduce (the CI replay smoke,
+# runnable on its own).
+replay-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/dlfuzz -runs 30 -witness-dir "$$dir" \
+		testdata/philosophers.clf >/dev/null || [ $$? -eq 1 ]; \
+	$(GO) run ./cmd/dlfuzz replay "$$dir"
 
 # Serial-vs-parallel campaign scaling on the CLF programs, plus the
 # machine-readable pipeline cost benchmark (BENCH_pipeline.json).

@@ -11,6 +11,8 @@
 //	dlbench -stop-after 5    # stop a cycle's campaign at 5 reproductions
 //	dlbench -pipeline-json BENCH_pipeline.json -workload lists \
 //	        -cpuprofile cpu.out -memprofile mem.out   # profile one workload
+//	dlbench -pipeline-json BENCH_pipeline.json \
+//	        -metrics-out BENCH_metrics.txt   # + campaign metrics snapshot
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"dlfuzz"
 	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/harness"
+	"dlfuzz/internal/obs"
 	"dlfuzz/internal/report"
 	"dlfuzz/internal/workloads"
 )
@@ -41,6 +44,7 @@ func main() {
 		maxCycles    = flag.Int("max-cycles", 0, "cap cycles per benchmark (0 = all)")
 		parallel     = flag.Int("parallel", 0, "campaign workers (0 = all cores, 1 = serial); results are identical")
 		stopAfter    = flag.Int("stop-after", 0, "stop each campaign after N targeted reproductions (0 = run all seeds)")
+		metricsOut   = flag.String("metrics-out", "", "write an expvar-style campaign metrics snapshot of the -pipeline-json run to this file")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -70,7 +74,7 @@ func main() {
 		}()
 	}
 
-	if err := run(*table, *fig, *imprecision, *pipelineJSON, *workload,
+	if err := run(*table, *fig, *imprecision, *pipelineJSON, *workload, *metricsOut,
 		*runs, *maxCycles, *parallel, *stopAfter); err != nil {
 		fail(err)
 	}
@@ -78,11 +82,14 @@ func main() {
 
 // run is main minus flag parsing and profiling, so the profile teardown
 // deferred in main still executes on the error paths.
-func run(table, fig string, imprecision bool, pipelineJSON, workload string, runs, maxCycles, parallel, stopAfter int) error {
+func run(table, fig string, imprecision bool, pipelineJSON, workload, metricsOut string, runs, maxCycles, parallel, stopAfter int) error {
 	copts := campaign.Options{Parallelism: parallel, StopAfter: stopAfter}
 
 	if pipelineJSON != "" {
-		return pipelineBench(pipelineJSON, workload, runs, parallel)
+		return pipelineBench(pipelineJSON, metricsOut, workload, runs, parallel)
+	}
+	if metricsOut != "" {
+		return fmt.Errorf("-metrics-out requires -pipeline-json")
 	}
 
 	all := table == "" && fig == "" && !imprecision
@@ -179,13 +186,20 @@ type pipelineRow struct {
 // time, allocation rate) is tracked across revisions. Executions and
 // Steps are deterministic for a fixed runs value; WallMs, StepsPerSec
 // and AllocsPerStep are the machine-dependent columns.
-func pipelineBench(path, only string, runs, parallel int) error {
+func pipelineBench(path, metricsOut, only string, runs, parallel int) error {
 	type doc struct {
 		Runs        int           `json:"runs"`
 		Parallelism int           `json:"parallelism"`
 		Workloads   []pipelineRow `json:"workloads"`
 	}
 	out := doc{Runs: runs, Parallelism: parallel}
+	// One metrics accumulator spans every workload's campaign, so the
+	// snapshot describes the whole benchmark run. Left nil (no per-run
+	// hook, no timing) unless -metrics-out asks for it.
+	var metrics *obs.Metrics
+	if metricsOut != "" {
+		metrics = &obs.Metrics{}
+	}
 	for _, w := range harness.Figure2Benchmarks() {
 		if only != "" && w.Name != only {
 			continue
@@ -193,6 +207,9 @@ func pipelineBench(path, only string, runs, parallel int) error {
 		opts := dlfuzz.DefaultCheckOptions()
 		opts.Confirm.Runs = runs
 		opts.Confirm.Parallelism = parallel
+		if metrics != nil {
+			opts.Confirm.OnRun = metrics.Record
+		}
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
@@ -221,6 +238,20 @@ func pipelineBench(path, only string, runs, parallel int) error {
 	}
 	if only != "" && len(out.Workloads) == 0 {
 		return fmt.Errorf("pipeline bench: unknown workload %q", only)
+	}
+	if metrics != nil {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := metrics.WriteSnapshot(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", metricsOut)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -7,11 +7,17 @@
 //	dlfuzz [flags] program.clf
 //	dlfuzz [flags] -workload jigsaw
 //	dlfuzz -list
+//	dlfuzz replay witness.jsonl... | witness-dir
 //
 // Flags select the variant (abstraction, context, yields) and the total
 // Phase II execution budget. Phase II is one multi-cycle campaign: the
 // budget is shared across all candidate cycles, and every confirmed
 // deadlock is credited to every cycle it matches.
+//
+// Observability (see docs/OBSERVABILITY.md): -witness-dir writes one
+// replayable witness trace per confirmed cycle, -journal streams one
+// JSONL record per Phase II execution, and the replay subcommand
+// re-executes recorded witnesses and asserts their deadlocks reproduce.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"os"
 
 	"dlfuzz"
+	"dlfuzz/internal/obs"
 	"dlfuzz/internal/workloads"
 )
 
@@ -32,6 +39,9 @@ func main() {
 // testable end to end. The exit code follows test-runner convention:
 // 0 clean, 1 deadlocks found, 2 usage error.
 func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "replay" {
+		return runReplay(args[1:], stdout, stderr)
+	}
 	fs := flag.NewFlagSet("dlfuzz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -46,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed      = fs.Int64("seed", 1, "first seed for the Phase I observation run")
 		parallel  = fs.Int("parallel", 0, "Phase II campaign workers (0 = all cores, 1 = serial); results are identical")
 		stopAfter = fs.Int("stop-after", 0, "stop the campaign after N targeted reproductions (0 = run all seeds)")
+		witDir    = fs.String("witness-dir", "", "write one replayable witness trace per confirmed cycle into this directory")
+		journalTo = fs.String("journal", "", "stream a JSONL run journal for the Phase II campaign to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +74,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "dlfuzz:", err)
 		return 2
+	}
+	// Canonical program reference, as recorded in witness and journal
+	// headers and resolved back by `dlfuzz replay`.
+	programRef := "clf:" + name
+	if *workload != "" {
+		programRef = "workload:" + name
 	}
 
 	abstraction, err := parseAbstraction(*abs)
@@ -108,9 +126,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	var journal *obs.Journal
+	if *journalTo != "" {
+		f, err := os.Create(*journalTo)
+		if err != nil {
+			fmt.Fprintln(stderr, "dlfuzz:", err)
+			return 2
+		}
+		defer f.Close()
+		journal = obs.NewJournal(f, obs.JournalMeta{
+			Program: programRef, Cycles: len(find.Cycles),
+			Runs: *runs, Parallelism: *parallel,
+		})
+		opts.Confirm.OnRun = journal.Record
+	}
+
 	fmt.Fprintf(stdout, "\n== %s: Phase II (active random checker, %d runs across %d cycles) ==\n",
 		name, *runs, len(find.Cycles))
 	multi := dlfuzz.ConfirmAll(prog, find.Cycles, opts.Confirm)
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			fmt.Fprintln(stderr, "dlfuzz: journal:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "journal: wrote %s (%d runs)\n", *journalTo, multi.Executions)
+	}
 	fmt.Fprintf(stdout, "campaign: %d executions, %d deadlocked, %d unmatched\n",
 		multi.Executions, multi.Deadlocked, multi.Unmatched)
 	confirmed := 0
@@ -128,6 +168,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 		if w := rep.Witness(); w != nil {
 			fmt.Fprintf(stdout, "  witness: %s\n", w)
+		}
+	}
+	if *witDir != "" && confirmed > 0 {
+		if err := writeWitnesses(*witDir, programRef, prog, find.Cycles, multi.Reports, opts.Confirm, stdout); err != nil {
+			fmt.Fprintln(stderr, "dlfuzz:", err)
+			return 2
 		}
 	}
 	fmt.Fprintf(stdout, "\n%d of %d potential cycles confirmed as real deadlocks\n", confirmed, len(find.Cycles))

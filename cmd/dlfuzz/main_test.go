@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -59,5 +60,67 @@ func TestRunUsageErrors(t *testing.T) {
 	stdout.Reset()
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 || stdout.Len() == 0 {
 		t.Errorf("-list: exit %d, output %q", code, stdout.String())
+	}
+}
+
+// TestWitnessReplayEndToEnd drives the full observability loop through
+// the CLI on both program forms: fuzz with -witness-dir and -journal,
+// then `dlfuzz replay` every emitted witness and require all of them to
+// reproduce their deadlock (exit 0).
+func TestWitnessReplayEndToEnd(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"clf-philosophers", []string{filepath.Join("..", "..", "testdata", "philosophers.clf")}},
+		{"workload-lists", []string{"-workload", "lists"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			witDir := filepath.Join(dir, "witnesses")
+			journal := filepath.Join(dir, "journal.jsonl")
+			var stdout, stderr bytes.Buffer
+			args := append([]string{
+				"-runs", "40", "-parallel", "2",
+				"-witness-dir", witDir, "-journal", journal,
+			}, tc.args...)
+			if code := run(args, &stdout, &stderr); code != 1 {
+				t.Fatalf("fuzz exit %d, want 1; stderr: %s", code, stderr.String())
+			}
+			witnesses, err := filepath.Glob(filepath.Join(witDir, "*.jsonl"))
+			if err != nil || len(witnesses) == 0 {
+				t.Fatalf("no witness files emitted (%v); stdout:\n%s", err, stdout.String())
+			}
+			if _, err := os.Stat(journal); err != nil {
+				t.Fatalf("journal not written: %v", err)
+			}
+
+			stdout.Reset()
+			stderr.Reset()
+			if code := run([]string{"replay", "-q", witDir}, &stdout, &stderr); code != 0 {
+				t.Fatalf("replay exit %d, want 0\nstdout:\n%s\nstderr:\n%s",
+					code, stdout.String(), stderr.String())
+			}
+			want := fmt.Sprintf("%d of %d witnesses reproduced", len(witnesses), len(witnesses))
+			if !bytes.Contains(stdout.Bytes(), []byte(want)) {
+				t.Errorf("replay output missing %q:\n%s", want, stdout.String())
+			}
+		})
+	}
+}
+
+// TestReplayUsageErrors covers the replay subcommand's failure exits.
+func TestReplayUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"replay"}, &stdout, &stderr); code != 2 {
+		t.Errorf("no arguments: exit %d, want 2", code)
+	}
+	if code := run([]string{"replay", filepath.Join(t.TempDir(), "missing.jsonl")}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	empty := t.TempDir()
+	if code := run([]string{"replay", empty}, &stdout, &stderr); code != 2 {
+		t.Errorf("empty directory: exit %d, want 2", code)
 	}
 }

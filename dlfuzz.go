@@ -12,6 +12,7 @@ import (
 	"dlfuzz/internal/igoodlock"
 	"dlfuzz/internal/lang"
 	"dlfuzz/internal/object"
+	"dlfuzz/internal/obs"
 	"dlfuzz/internal/sched"
 )
 
@@ -38,6 +39,10 @@ type (
 	Result = sched.Result
 	// Outcome classifies how an execution ended.
 	Outcome = sched.Outcome
+	// RunRecord is the per-execution telemetry record a confirm
+	// campaign streams through ConfirmOptions.OnRun (see internal/obs
+	// and docs/OBSERVABILITY.md for the journal format built on it).
+	RunRecord = obs.RunRecord
 )
 
 // Execution outcomes.
@@ -159,6 +164,11 @@ type ConfirmOptions struct {
 	// (in seed order) have reproduced the cycle; the report's Runs
 	// field then says how many seeds actually contributed.
 	StopAfter int
+	// OnRun, when non-nil, receives one RunRecord per campaign
+	// execution, in seed order — the hook behind `dlfuzz -journal` and
+	// `dlbench -metrics-out`. Leaving it nil keeps the execution hot
+	// path allocation-free.
+	OnRun func(*RunRecord)
 }
 
 // DefaultConfirmOptions returns the paper's variant 2 with 100 runs.
@@ -190,6 +200,7 @@ func Confirm(prog func(*Ctx), cycle *Cycle, opts ConfirmOptions) *ConfirmReport 
 	sum := campaign.Confirm(prog, cycle, opts.fuzzerConfig(), opts.Runs, opts.MaxSteps, campaign.Options{
 		Parallelism: opts.Parallelism,
 		StopAfter:   opts.StopAfter,
+		OnRun:       opts.OnRun,
 	})
 	return &ConfirmReport{CycleSummary: campaign.CycleSummary{Summary: *sum}}
 }
@@ -249,6 +260,7 @@ func ConfirmAll(prog func(*Ctx), cycles []*Cycle, opts ConfirmOptions) *MultiRep
 	sum := campaign.ConfirmCycles(prog, cycles, opts.fuzzerConfig(), opts.Runs, opts.MaxSteps, campaign.Options{
 		Parallelism: opts.Parallelism,
 		StopAfter:   opts.StopAfter,
+		OnRun:       opts.OnRun,
 	})
 	out := &MultiReport{
 		Executions: sum.Executions,

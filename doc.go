@@ -27,4 +27,10 @@
 // or in one step:
 //
 //	res, err := dlfuzz.Check(prog, dlfuzz.DefaultCheckOptions())
+//
+// Campaigns are observable: ConfirmOptions.OnRun streams one RunRecord
+// per execution (see internal/obs and docs/OBSERVABILITY.md), and the
+// dlfuzz command can export replayable witness traces of every
+// confirmed deadlock (-witness-dir) and verify them later (dlfuzz
+// replay).
 package dlfuzz

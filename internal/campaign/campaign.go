@@ -1,38 +1,14 @@
-// Package campaign is the parallel deterministic campaign engine behind
-// every multi-seed experiment: Phase II reproduction campaigns,
-// uninstrumented baselines, and the Figure 2 sweeps.
-//
-// Phase II of the paper is embarrassingly parallel — each of the (say)
-// 100 seeded executions against a candidate cycle is independent of the
-// others — and the cooperative scheduler makes every execution a pure
-// function of (program, policy, seed). The engine exploits both facts:
-// seeds are sharded across a worker pool, each worker runs whole seeded
-// executions, and the per-seed results are merged on a single goroutine
-// in strict ascending seed order. Because the merge order is the serial
-// order, every aggregate a campaign produces is identical to what the
-// old serial loops produced, at any Parallelism setting.
-//
-// Early stop (Options.StopAfter) is defined in seed order too: the
-// campaign ends after the N-th hit among consumed seeds, so the set of
-// seeds that contribute to the aggregate — and therefore the aggregate
-// itself — is deterministic. Workers may speculatively execute a few
-// seeds past the stop point; those results are discarded, trading a
-// little wasted work for determinism.
-//
-// The one obligation on callers: the program body handed to a parallel
-// campaign must tolerate concurrent executions. Workload progs and CLF
-// interpreter bodies do (each execution gets a fresh scheduler and
-// heap); a prog that writes to a shared buffer does not — run it with
-// Parallelism 1 or give it a concurrency-safe writer.
 package campaign
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dlfuzz/internal/fuzzer"
 	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/obs"
 	"dlfuzz/internal/sched"
 )
 
@@ -48,6 +24,13 @@ type Options struct {
 	// target cycle") have been consumed in seed order. The campaign
 	// then reports how many seeds actually contributed.
 	StopAfter int
+	// OnRun, when non-nil, receives one observability record per
+	// contributing execution of a confirm campaign (Confirm, ConfirmEach,
+	// ConfirmCycles), in strict seed order on the consuming goroutine —
+	// the journal/metrics hook. Setting it turns on per-run wall-time
+	// measurement; leaving it nil keeps the engine's hot path untouched.
+	// Baseline campaigns do not report.
+	OnRun func(*obs.RunRecord)
 }
 
 // workers resolves Parallelism against the machine and the campaign
@@ -194,8 +177,12 @@ type Summary struct {
 	Yields   int
 	Steps    int
 	// Example is the witness deadlock of the first reproducing seed (in
-	// seed order; nil if none reproduced).
-	Example *sched.DeadlockInfo
+	// seed order; nil if none reproduced), and ExampleSeed the scheduler
+	// seed of that run — enough, with the program and config, to
+	// re-execute and capture the witness. Meaningful only when Example
+	// is non-nil.
+	Example     *sched.DeadlockInfo
+	ExampleSeed int64
 }
 
 // Probability returns the empirical reproduction probability, the
@@ -232,23 +219,64 @@ func Confirm(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Config, r
 	return ConfirmEach(prog, cycle, cfg, runs, maxSteps, opts, nil)
 }
 
+// confirmRun is one execution's result plus its observability envelope
+// (wall time and worker id, filled only when Options.OnRun is set).
+type confirmRun struct {
+	r      *fuzzer.RunResult
+	wallNs int64
+	worker int
+}
+
+// runRecord assembles the OnRun record for one execution.
+func runRecord(seed int64, target int, schedSeed int64, cr confirmRun) *obs.RunRecord {
+	r := cr.r
+	return &obs.RunRecord{
+		Seed:       seed,
+		Target:     target,
+		SchedSeed:  schedSeed,
+		Outcome:    r.Result.Outcome.String(),
+		Reproduced: r.Reproduced,
+		Steps:      r.Result.Steps,
+		Acquires:   r.Result.Acquires,
+		Events:     r.Result.Events,
+		Pauses:     r.Stats.Pauses,
+		Thrashes:   r.Stats.Thrashes,
+		Yields:     r.Stats.Yields,
+		Evictions:  r.Stats.Evictions,
+		WallNs:     cr.wallNs,
+		Worker:     cr.worker,
+	}
+}
+
 // ConfirmEach is Confirm with a per-run hook: each is invoked in seed
 // order with every contributing run's full result, for experiments that
 // need per-run observations (e.g. the Figure 2 thrash/reproduction
 // correlation). each may be nil.
 func ConfirmEach(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Config, runs, maxSteps int, opts Options, each func(seed int, r *fuzzer.RunResult)) *Summary {
 	sum := &Summary{}
+	var workerSeq atomic.Int32
+	timed := opts.OnRun != nil
 	sum.Runs = RunWorkers(runs, opts,
-		func() func(seed int) *fuzzer.RunResult {
+		func() func(seed int) confirmRun {
 			// One pooled runner per worker: scheduler and policy shells
 			// are recycled across that worker's seeds.
 			r := fuzzer.NewRunner()
-			return func(seed int) *fuzzer.RunResult {
-				return r.Run(prog, cycle, cfg, int64(seed), maxSteps)
+			worker := int(workerSeq.Add(1)) - 1
+			return func(seed int) confirmRun {
+				cr := confirmRun{worker: worker}
+				if timed {
+					start := time.Now()
+					cr.r = r.Run(prog, cycle, cfg, int64(seed), maxSteps)
+					cr.wallNs = time.Since(start).Nanoseconds()
+				} else {
+					cr.r = r.Run(prog, cycle, cfg, int64(seed), maxSteps)
+				}
+				return cr
 			}
 		},
-		func(r *fuzzer.RunResult) bool { return r.Reproduced },
-		func(seed int, r *fuzzer.RunResult) {
+		func(cr confirmRun) bool { return cr.r.Reproduced },
+		func(seed int, cr confirmRun) {
+			r := cr.r
 			if r.Result.Outcome == sched.Deadlock {
 				sum.Deadlocked++
 			}
@@ -256,6 +284,7 @@ func ConfirmEach(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Confi
 				sum.Reproduced++
 				if sum.Example == nil {
 					sum.Example = r.Result.Deadlock
+					sum.ExampleSeed = int64(seed)
 				}
 			}
 			sum.Thrashes += r.Stats.Thrashes
@@ -263,6 +292,9 @@ func ConfirmEach(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg fuzzer.Confi
 			sum.Steps += r.Result.Steps
 			if each != nil {
 				each(seed, r)
+			}
+			if opts.OnRun != nil {
+				opts.OnRun(runRecord(int64(seed), 0, int64(seed), cr))
 			}
 		})
 	return sum

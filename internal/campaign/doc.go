@@ -1,0 +1,34 @@
+// Package campaign is the parallel deterministic campaign engine behind
+// every multi-seed experiment: Phase II reproduction campaigns,
+// uninstrumented baselines, and the Figure 2 sweeps.
+//
+// Phase II of the paper is embarrassingly parallel — each of the (say)
+// 100 seeded executions against a candidate cycle is independent of the
+// others — and the cooperative scheduler makes every execution a pure
+// function of (program, policy, seed). The engine exploits both facts:
+// seeds are sharded across a worker pool, each worker runs whole seeded
+// executions, and the per-seed results are merged on a single goroutine
+// in strict ascending seed order. Because the merge order is the serial
+// order, every aggregate a campaign produces is identical to what the
+// old serial loops produced, at any Parallelism setting.
+//
+// Early stop (Options.StopAfter) is defined in seed order too: the
+// campaign ends after the N-th hit among consumed seeds, so the set of
+// seeds that contribute to the aggregate — and therefore the aggregate
+// itself — is deterministic. Workers may speculatively execute a few
+// seeds past the stop point; those results are discarded, trading a
+// little wasted work for determinism.
+//
+// The one obligation on callers: the program body handed to a parallel
+// campaign must tolerate concurrent executions. Workload progs and CLF
+// interpreter bodies do (each execution gets a fresh scheduler and
+// heap); a prog that writes to a shared buffer does not — run it with
+// Parallelism 1 or give it a concurrency-safe writer.
+//
+// Campaigns are observable without being perturbable: Options.OnRun
+// streams one obs.RunRecord per execution, delivered on the consuming
+// goroutine in seed order, so journals and metrics written from the hook
+// are as deterministic as the campaign itself (modulo the wall-time and
+// worker-id fields, which are measured, not derived). A nil OnRun costs
+// nothing — no timing, no record allocation.
+package campaign

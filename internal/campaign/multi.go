@@ -28,6 +28,9 @@ package campaign
 // order at any Parallelism setting.
 
 import (
+	"sync/atomic"
+	"time"
+
 	"dlfuzz/internal/fuzzer"
 	"dlfuzz/internal/igoodlock"
 	"dlfuzz/internal/sched"
@@ -47,8 +50,13 @@ type CycleSummary struct {
 	// reproduction probability.
 	CrossMatches int
 	// CrossExample is the first cross-matching witness in campaign seed
-	// order (nil when CrossMatches is 0).
-	CrossExample *sched.DeadlockInfo
+	// order (nil when CrossMatches is 0). CrossExampleSeed and
+	// CrossExampleTarget record the scheduler seed and the candidate the
+	// run was actually biased toward, so the cross-matching execution
+	// can be re-run (meaningful only when CrossExample is non-nil).
+	CrossExample       *sched.DeadlockInfo
+	CrossExampleSeed   int64
+	CrossExampleTarget int
 }
 
 // Confirmed reports whether any execution of the campaign — targeted or
@@ -104,6 +112,8 @@ type multiRun struct {
 	target  int
 	r       *fuzzer.RunResult
 	matches []int // candidate indexes the confirmed deadlock matches
+	wallNs  int64
+	worker  int
 }
 
 // ConfirmCycles runs one campaign of ~runs executions against all
@@ -120,13 +130,20 @@ func ConfirmCycles(prog func(*sched.Ctx), cycles []*igoodlock.Cycle, cfg fuzzer.
 		return out
 	}
 	perTarget := (runs + c - 1) / c
+	var workerSeq atomic.Int32
+	timed := opts.OnRun != nil
 	setup := func() func(seed int) *multiRun {
 		runner := fuzzer.NewRunner()
+		worker := int(workerSeq.Add(1)) - 1
 		return func(seed int) *multiRun {
 			target := seed % c
-			m := &multiRun{
-				target: target,
-				r:      runner.Run(prog, cycles[target], cfg, int64(seed/c), maxSteps),
+			m := &multiRun{target: target, worker: worker}
+			if timed {
+				start := time.Now()
+				m.r = runner.Run(prog, cycles[target], cfg, int64(seed/c), maxSteps)
+				m.wallNs = time.Since(start).Nanoseconds()
+			} else {
+				m.r = runner.Run(prog, cycles[target], cfg, int64(seed/c), maxSteps)
 			}
 			if m.r.Result.Outcome == sched.Deadlock {
 				for i, cyc := range cycles {
@@ -140,7 +157,7 @@ func ConfirmCycles(prog func(*sched.Ctx), cycles []*igoodlock.Cycle, cfg fuzzer.
 	}
 	out.Executions = RunWorkers(perTarget*c, opts, setup,
 		func(m *multiRun) bool { return m.r.Reproduced },
-		func(_ int, m *multiRun) {
+		func(seed int, m *multiRun) {
 			r := m.r
 			cs := &out.Cycles[m.target]
 			cs.Runs++
@@ -150,6 +167,10 @@ func ConfirmCycles(prog func(*sched.Ctx), cycles []*igoodlock.Cycle, cfg fuzzer.
 			out.Thrashes += r.Stats.Thrashes
 			out.Yields += r.Stats.Yields
 			out.Steps += r.Result.Steps
+			if opts.OnRun != nil {
+				defer opts.OnRun(runRecord(int64(seed), m.target, int64(seed/c),
+					confirmRun{r: r, wallNs: m.wallNs, worker: m.worker}))
+			}
 			if r.Result.Outcome != sched.Deadlock {
 				return
 			}
@@ -159,6 +180,7 @@ func ConfirmCycles(prog func(*sched.Ctx), cycles []*igoodlock.Cycle, cfg fuzzer.
 				cs.Reproduced++
 				if cs.Example == nil {
 					cs.Example = r.Result.Deadlock
+					cs.ExampleSeed = int64(seed / c)
 				}
 			}
 			for _, i := range m.matches {
@@ -169,6 +191,8 @@ func ConfirmCycles(prog func(*sched.Ctx), cycles []*igoodlock.Cycle, cfg fuzzer.
 				cc.CrossMatches++
 				if cc.CrossExample == nil {
 					cc.CrossExample = r.Result.Deadlock
+					cc.CrossExampleSeed = int64(seed / c)
+					cc.CrossExampleTarget = m.target
 				}
 			}
 			if len(m.matches) == 0 {

@@ -95,7 +95,7 @@ func TestRunWorkersSharedRunner(t *testing.T) {
 				}
 			},
 			func(r *fuzzer.RunResult) bool { return r.Reproduced },
-			func(_ int, r *fuzzer.RunResult) {
+			func(seed int, r *fuzzer.RunResult) {
 				if r.Result.Outcome == sched.Deadlock {
 					sum.Deadlocked++
 				}
@@ -103,6 +103,7 @@ func TestRunWorkersSharedRunner(t *testing.T) {
 					sum.Reproduced++
 					if sum.Example == nil {
 						sum.Example = r.Result.Deadlock
+						sum.ExampleSeed = int64(seed)
 					}
 				}
 				sum.Thrashes += r.Stats.Thrashes

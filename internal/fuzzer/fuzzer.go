@@ -74,12 +74,30 @@ type Stats struct {
 	Evictions int
 }
 
+// Hooks receives the policy's steering decisions as they happen, in
+// decision order, for observability (witness traces record pause/thrash/
+// yield points through them). Hooks run on the scheduler goroutine and
+// must not call back into the policy or the scheduler. A nil Hooks (the
+// default) costs nothing on the hot path.
+type Hooks interface {
+	// OnPause fires when a thread standing at a cycle acquire is paused.
+	OnPause(t event.TID, step int, loc event.Loc)
+	// OnThrash fires when every enabled thread was paused and victim was
+	// released with a free pass.
+	OnThrash(victim event.TID, step int)
+	// OnYield fires when the Section 4 optimization skips t once at loc.
+	OnYield(t event.TID, step int, loc event.Loc)
+	// OnEvict fires when the livelock monitor releases a stale pause.
+	OnEvict(t event.TID, step int)
+}
+
 // Policy is the active random scheduler. It implements sched.Policy.
 // A Policy serves one execution at a time; Reset re-arms it for the
 // next, keeping its map and buffer capacity.
 type Policy struct {
 	cycle *igoodlock.Cycle
 	cfg   Config
+	hooks Hooks
 
 	paused   map[event.TID]int // tid -> step at which it was paused
 	freePass map[event.TID]bool
@@ -133,7 +151,13 @@ func (p *Policy) Reset(cycle *igoodlock.Cycle, cfg Config) {
 	}
 	clear(p.skipped)
 	p.stats = Stats{}
+	p.hooks = nil
 }
+
+// SetHooks installs (or, with nil, removes) a decision observer for the
+// next execution. Reset clears it, so pooled runners re-arm hooks after
+// every Reset.
+func (p *Policy) SetHooks(h Hooks) { p.hooks = h }
 
 // Stats returns the policy's counters for the execution so far.
 func (p *Policy) Stats() Stats { return p.stats }
@@ -156,6 +180,9 @@ func (p *Policy) Next(s *sched.Scheduler, enabled []event.TID) event.TID {
 		if req := s.Pending(tid); req.Kind == event.KindAcquire && p.matches(s, tid, req) {
 			p.paused[tid] = s.Steps()
 			p.stats.Pauses++
+			if p.hooks != nil {
+				p.hooks.OnPause(tid, s.Steps(), req.Loc)
+			}
 		}
 	}
 	clear(p.skipped)
@@ -193,6 +220,9 @@ func (p *Policy) Next(s *sched.Scheduler, enabled []event.TID) event.TID {
 			}
 			p.skipped[tid] = true
 			p.stats.Yields++
+			if p.hooks != nil {
+				p.hooks.OnYield(tid, s.Steps(), req.Loc)
+			}
 			continue
 		}
 		return tid
@@ -235,6 +265,9 @@ func (p *Policy) thrash(s *sched.Scheduler) {
 	delete(p.paused, victim)
 	p.freePass[victim] = true
 	p.stats.Thrashes++
+	if p.hooks != nil {
+		p.hooks.OnThrash(victim, s.Steps())
+	}
 }
 
 // sortTIDs sorts in place (insertion sort; the sets are tiny) so that map
@@ -255,6 +288,9 @@ func (p *Policy) evictStale(s *sched.Scheduler) {
 			delete(p.paused, t)
 			p.freePass[t] = true
 			p.stats.Evictions++
+			if p.hooks != nil {
+				p.hooks.OnEvict(t, s.Steps())
+			}
 		}
 	}
 }

@@ -3,10 +3,52 @@ package fuzzer
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"dlfuzz/internal/igoodlock"
 	"dlfuzz/internal/sched"
 )
+
+// DeadlockKey renders a confirmed deadlock as a canonical,
+// rotation-independent key under cfg's abstraction: the sorted multiset
+// of "abs(thread)/abs(lock)[/context]" triples joined by "~". Two
+// deadlocks have equal keys iff MatchesCycle would consider them the
+// same cycle; witness traces persist the key so a replay can assert it
+// reproduced the identical deadlock.
+func DeadlockKey(dl *sched.DeadlockInfo, cfg Config) string {
+	if dl == nil {
+		return ""
+	}
+	if cfg.K == 0 {
+		cfg.K = 10
+	}
+	parts := make([]string, 0, len(dl.Edges))
+	for _, e := range dl.Edges {
+		key := fmt.Sprintf("%s/%s", cfg.Abstraction.Of(e.ThreadObj, cfg.K), cfg.Abstraction.Of(e.Want, cfg.K))
+		if cfg.UseContext {
+			key += "/" + e.Context.Key()
+		}
+		parts = append(parts, key)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "~")
+}
+
+// CycleKey is DeadlockKey's counterpart for a potential cycle: the same
+// canonical triple multiset, built from iGoodlock's component
+// abstractions instead of a live deadlock's edges.
+func CycleKey(cycle *igoodlock.Cycle, cfg Config) string {
+	parts := make([]string, 0, len(cycle.Components))
+	for _, c := range cycle.Components {
+		key := fmt.Sprintf("%s/%s", c.ThreadAbs, c.LockAbs)
+		if cfg.UseContext {
+			key += "/" + c.Context.Key()
+		}
+		parts = append(parts, key)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "~")
+}
 
 // MatchesCycle reports whether a confirmed deadlock corresponds to the
 // target potential cycle: the same multiset of (abs(thread), abs(lock),
@@ -18,33 +60,7 @@ func MatchesCycle(dl *sched.DeadlockInfo, cycle *igoodlock.Cycle, cfg Config) bo
 	if dl == nil || len(dl.Edges) != len(cycle.Components) {
 		return false
 	}
-	if cfg.K == 0 {
-		cfg.K = 10
-	}
-	got := make([]string, 0, len(dl.Edges))
-	for _, e := range dl.Edges {
-		key := fmt.Sprintf("%s/%s", cfg.Abstraction.Of(e.ThreadObj, cfg.K), cfg.Abstraction.Of(e.Want, cfg.K))
-		if cfg.UseContext {
-			key += "/" + e.Context.Key()
-		}
-		got = append(got, key)
-	}
-	want := make([]string, 0, len(cycle.Components))
-	for _, c := range cycle.Components {
-		key := fmt.Sprintf("%s/%s", c.ThreadAbs, c.LockAbs)
-		if cfg.UseContext {
-			key += "/" + c.Context.Key()
-		}
-		want = append(want, key)
-	}
-	sort.Strings(got)
-	sort.Strings(want)
-	for i := range got {
-		if got[i] != want[i] {
-			return false
-		}
-	}
-	return true
+	return DeadlockKey(dl, cfg) == CycleKey(cycle, cfg)
 }
 
 // RunResult is the outcome of one Phase II execution.

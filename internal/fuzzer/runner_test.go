@@ -31,6 +31,28 @@ func TestRunnerMatchesRun(t *testing.T) {
 	}
 }
 
+// TestRunnerDisabledHooksAllocs guards the observability layer's
+// zero-cost-when-off contract at the fuzzer level: a pooled checker run
+// with no hooks installed (the default after Reset) must stay at its
+// pre-observability allocation count. A fig1 run sits around 550
+// allocations; the bound fails loudly if the nil-hook paths start
+// allocating.
+func TestRunnerDisabledHooksAllocs(t *testing.T) {
+	cycles := phase1(t, fig1, igoodlock.DefaultConfig())
+	if len(cycles) == 0 {
+		t.Fatal("no cycles")
+	}
+	cfg := DefaultConfig()
+	r := NewRunner()
+	r.Run(fig1, cycles[0], cfg, 1, 0) // warm the shells
+	avg := testing.AllocsPerRun(10, func() {
+		r.Run(fig1, cycles[0], cfg, 1, 0)
+	})
+	if avg > 600 {
+		t.Errorf("hook-free pooled run allocates %.0f objects, want <= 600", avg)
+	}
+}
+
 // TestRunnerRetargets checks that one Runner can switch programs and
 // target cycles mid-stream without leaking pause/yield state between
 // targets: each result must equal a fresh single-use run against the

@@ -6,6 +6,7 @@ import (
 
 	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/fuzzer"
+	"dlfuzz/internal/obs"
 	"dlfuzz/internal/workloads"
 )
 
@@ -63,6 +64,10 @@ type Table1Options struct {
 	// Early-stopped campaigns report probabilities over the seeds that
 	// actually ran.
 	StopAfter int
+	// OnRun, when non-nil, streams one observability record per Phase II
+	// execution of the row's multi-cycle campaign (see internal/obs).
+	// The uninstrumented baseline control does not report.
+	OnRun func(*obs.RunRecord)
 }
 
 // DefaultTable1Options mirrors the paper's setup.
@@ -79,7 +84,7 @@ func BuildTable1Row(w workloads.Workload, opt Table1Options) (Table1Row, error) 
 		opt.BaselineRuns = opt.Runs
 	}
 	v := DefaultVariant()
-	copts := campaign.Options{Parallelism: opt.Parallelism, StopAfter: opt.StopAfter}
+	copts := campaign.Options{Parallelism: opt.Parallelism, StopAfter: opt.StopAfter, OnRun: opt.OnRun}
 
 	row := Table1Row{Name: w.Name, PaperLoC: w.PaperLoC}
 

@@ -90,6 +90,18 @@ func (a Abstraction) String() string {
 	return absNames[a]
 }
 
+// AbstractionByName maps a report name ("trivial", "k-object",
+// "exec-index") back to its Abstraction, for decoding persisted
+// configurations such as witness traces.
+func AbstractionByName(name string) (Abstraction, bool) {
+	for a, n := range absNames {
+		if n == name {
+			return Abstraction(a), true
+		}
+	}
+	return 0, false
+}
+
 // Key is the cross-execution identity computed by an abstraction. Keys
 // are ordinary strings so they work as map keys and print readably.
 type Key string

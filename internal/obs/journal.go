@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JournalVersion identifies the run-journal JSONL format. Bump on any
+// incompatible change to the line schemas below.
+const JournalVersion = 1
+
+// RunRecord is the per-execution telemetry a campaign reports through
+// campaign.Options.OnRun, in strict seed order. All fields except
+// WallNs and Worker are deterministic functions of (program, config,
+// campaign seed); those two describe where and how long the execution
+// physically ran and vary across machines and parallelism settings.
+type RunRecord struct {
+	// Seed is the campaign seed; Target the index of the candidate cycle
+	// the run was biased toward (0 for single-cycle campaigns); SchedSeed
+	// the scheduler seed actually used (Seed for single-cycle campaigns,
+	// Seed/len(cycles) for multi-cycle ones).
+	Seed      int64 `json:"seed"`
+	Target    int   `json:"target"`
+	SchedSeed int64 `json:"schedSeed"`
+	// Outcome is the scheduler verdict ("completed", "deadlock", "stall",
+	// "step-limit"); Reproduced whether a confirmed deadlock matched the
+	// targeted cycle.
+	Outcome    string `json:"outcome"`
+	Reproduced bool   `json:"reproduced"`
+	// Steps, Acquires and Events are the scheduler's counters for the
+	// run; Pauses, Thrashes, Yields and Evictions the active checker's.
+	Steps     int    `json:"steps"`
+	Acquires  uint64 `json:"acquires"`
+	Events    uint64 `json:"events"`
+	Pauses    int    `json:"pauses"`
+	Thrashes  int    `json:"thrashes"`
+	Yields    int    `json:"yields"`
+	Evictions int    `json:"evictions"`
+	// WallNs is the execution's wall time in nanoseconds and Worker the
+	// id of the worker goroutine that ran it — the journal's only
+	// nondeterministic fields.
+	WallNs int64 `json:"wallNs"`
+	Worker int   `json:"worker"`
+}
+
+// JournalMeta is the journal header's campaign description.
+type JournalMeta struct {
+	// Program names what ran, in the same "workload:NAME" / "clf:PATH"
+	// form witness headers use.
+	Program string `json:"program"`
+	// Cycles is the number of candidate cycles targeted; Runs the
+	// requested execution budget; Parallelism the worker setting.
+	Cycles      int `json:"cycles"`
+	Runs        int `json:"runs"`
+	Parallelism int `json:"parallelism"`
+}
+
+// journalHeader, journalRun and journalTotal are the three journal line
+// kinds, tagged by K.
+type journalHeader struct {
+	K string `json:"k"`
+	V int    `json:"v"`
+	JournalMeta
+}
+
+type journalRun struct {
+	K string `json:"k"`
+	*RunRecord
+}
+
+type journalTotal struct {
+	K string `json:"k"`
+	// Runs counts the recorded executions; the remaining fields are sums
+	// over them.
+	Runs       int    `json:"runs"`
+	Deadlocked int    `json:"deadlocked"`
+	Reproduced int    `json:"reproduced"`
+	Steps      int    `json:"steps"`
+	Acquires   uint64 `json:"acquires"`
+	Pauses     int    `json:"pauses"`
+	Thrashes   int    `json:"thrashes"`
+	Yields     int    `json:"yields"`
+	WallNs     int64  `json:"wallNs"`
+}
+
+// Journal streams RunRecords as a JSONL run journal: one header line,
+// one "run" line per execution, and a "total" trailer written by Close.
+// Record has the signature campaign.Options.OnRun expects, so a Journal
+// plugs straight into a campaign. Not safe for concurrent use — the
+// campaign engine invokes OnRun from a single goroutine, in seed order.
+type Journal struct {
+	bw    *bufio.Writer
+	enc   *json.Encoder
+	err   error
+	total journalTotal
+}
+
+// NewJournal writes the header and returns a journal ready to record.
+func NewJournal(w io.Writer, meta JournalMeta) *Journal {
+	j := &Journal{bw: bufio.NewWriter(w)}
+	j.enc = json.NewEncoder(j.bw)
+	j.write(journalHeader{K: "journal", V: JournalVersion, JournalMeta: meta})
+	return j
+}
+
+func (j *Journal) write(line any) {
+	if j.err == nil {
+		j.err = j.enc.Encode(line)
+	}
+}
+
+// Record appends one run line and folds the record into the totals.
+func (j *Journal) Record(rec *RunRecord) {
+	j.total.Runs++
+	if rec.Outcome == "deadlock" {
+		j.total.Deadlocked++
+	}
+	if rec.Reproduced {
+		j.total.Reproduced++
+	}
+	j.total.Steps += rec.Steps
+	j.total.Acquires += rec.Acquires
+	j.total.Pauses += rec.Pauses
+	j.total.Thrashes += rec.Thrashes
+	j.total.Yields += rec.Yields
+	j.total.WallNs += rec.WallNs
+	j.write(journalRun{K: "run", RunRecord: rec})
+}
+
+// Close writes the totals trailer and flushes. It returns the first
+// error encountered at any point of the journal's life.
+func (j *Journal) Close() error {
+	j.total.K = "total"
+	j.write(j.total)
+	if err := j.bw.Flush(); j.err == nil {
+		j.err = err
+	}
+	return j.err
+}
+
+// JournalFile is a decoded run journal.
+type JournalFile struct {
+	Version int
+	Meta    JournalMeta
+	Runs    []RunRecord
+}
+
+// ReadJournal decodes a journal written by Journal. The totals trailer
+// is validated against the run lines.
+func ReadJournal(r io.Reader) (*JournalFile, error) {
+	dec := json.NewDecoder(r)
+	var hdr journalHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("obs: journal header: %w", err)
+	}
+	if hdr.K != "journal" {
+		return nil, fmt.Errorf("obs: not a run journal (first line %q)", hdr.K)
+	}
+	if hdr.V != JournalVersion {
+		return nil, fmt.Errorf("obs: journal version %d, want %d", hdr.V, JournalVersion)
+	}
+	out := &JournalFile{Version: hdr.V, Meta: hdr.JournalMeta}
+	sum := journalTotal{}
+	sawTotal := false
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("obs: journal line: %w", err)
+		}
+		var tag struct {
+			K string `json:"k"`
+		}
+		if err := json.Unmarshal(raw, &tag); err != nil {
+			return nil, fmt.Errorf("obs: journal line: %w", err)
+		}
+		switch tag.K {
+		case "run":
+			var line journalRun
+			line.RunRecord = &RunRecord{}
+			if err := json.Unmarshal(raw, &line); err != nil {
+				return nil, fmt.Errorf("obs: run line: %w", err)
+			}
+			out.Runs = append(out.Runs, *line.RunRecord)
+			sum.Runs++
+			sum.Steps += line.Steps
+		case "total":
+			var tot journalTotal
+			if err := json.Unmarshal(raw, &tot); err != nil {
+				return nil, fmt.Errorf("obs: total line: %w", err)
+			}
+			if tot.Runs != sum.Runs || tot.Steps != sum.Steps {
+				return nil, fmt.Errorf("obs: journal totals disagree with run lines (%d runs/%d steps vs %d/%d)",
+					tot.Runs, tot.Steps, sum.Runs, sum.Steps)
+			}
+			sawTotal = true
+		default:
+			return nil, fmt.Errorf("obs: unknown journal line kind %q", tag.K)
+		}
+	}
+	if !sawTotal {
+		return nil, fmt.Errorf("obs: journal has no totals trailer (truncated?)")
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// workerMetrics aggregates the runs one worker goroutine executed.
+type workerMetrics struct {
+	Runs   int
+	Steps  int
+	WallNs int64
+}
+
+// Metrics folds RunRecords into campaign-level aggregates: global
+// totals, per-outcome run counts and per-worker load. Record has the
+// campaign.Options.OnRun signature, so a Metrics can be attached
+// directly or chained behind a Journal. Not safe for concurrent use —
+// the campaign engine reports runs from a single goroutine.
+type Metrics struct {
+	Runs       int
+	Deadlocked int
+	Reproduced int
+	Steps      int
+	Acquires   uint64
+	Events     uint64
+	Pauses     int
+	Thrashes   int
+	Yields     int
+	Evictions  int
+	WallNs     int64
+
+	byOutcome map[string]int
+	byWorker  map[int]*workerMetrics
+}
+
+// Record folds one run into the aggregates.
+func (m *Metrics) Record(rec *RunRecord) {
+	m.Runs++
+	if rec.Outcome == "deadlock" {
+		m.Deadlocked++
+	}
+	if rec.Reproduced {
+		m.Reproduced++
+	}
+	m.Steps += rec.Steps
+	m.Acquires += rec.Acquires
+	m.Events += rec.Events
+	m.Pauses += rec.Pauses
+	m.Thrashes += rec.Thrashes
+	m.Yields += rec.Yields
+	m.Evictions += rec.Evictions
+	m.WallNs += rec.WallNs
+	if m.byOutcome == nil {
+		m.byOutcome = make(map[string]int)
+		m.byWorker = make(map[int]*workerMetrics)
+	}
+	m.byOutcome[rec.Outcome]++
+	w := m.byWorker[rec.Worker]
+	if w == nil {
+		w = &workerMetrics{}
+		m.byWorker[rec.Worker] = w
+	}
+	w.Runs++
+	w.Steps += rec.Steps
+	w.WallNs += rec.WallNs
+}
+
+// WriteSnapshot renders the aggregates as sorted expvar-style
+// "name value" lines under the dlfuzz.campaign.* namespace, e.g.
+//
+//	dlfuzz.campaign.runs 120
+//	dlfuzz.campaign.outcome.deadlock 97
+//	dlfuzz.campaign.worker.0.runs 60
+//
+// The global and per-outcome lines are deterministic for a fixed
+// campaign; the per-worker and wall-time lines are not.
+func (m *Metrics) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	lines := []string{
+		fmt.Sprintf("dlfuzz.campaign.runs %d", m.Runs),
+		fmt.Sprintf("dlfuzz.campaign.deadlocked %d", m.Deadlocked),
+		fmt.Sprintf("dlfuzz.campaign.reproduced %d", m.Reproduced),
+		fmt.Sprintf("dlfuzz.campaign.steps %d", m.Steps),
+		fmt.Sprintf("dlfuzz.campaign.acquires %d", m.Acquires),
+		fmt.Sprintf("dlfuzz.campaign.events %d", m.Events),
+		fmt.Sprintf("dlfuzz.campaign.pauses %d", m.Pauses),
+		fmt.Sprintf("dlfuzz.campaign.thrashes %d", m.Thrashes),
+		fmt.Sprintf("dlfuzz.campaign.yields %d", m.Yields),
+		fmt.Sprintf("dlfuzz.campaign.evictions %d", m.Evictions),
+		fmt.Sprintf("dlfuzz.campaign.wallNs %d", m.WallNs),
+	}
+	for outcome, n := range m.byOutcome {
+		lines = append(lines, fmt.Sprintf("dlfuzz.campaign.outcome.%s %d", outcome, n))
+	}
+	for id, wm := range m.byWorker {
+		lines = append(lines, fmt.Sprintf("dlfuzz.campaign.worker.%d.runs %d", id, wm.Runs))
+		lines = append(lines, fmt.Sprintf("dlfuzz.campaign.worker.%d.steps %d", id, wm.Steps))
+		lines = append(lines, fmt.Sprintf("dlfuzz.campaign.worker.%d.wallNs %d", id, wm.WallNs))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(bw, l); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Tee fans one OnRun stream out to several sinks (e.g. a Journal and a
+// Metrics at once).
+func Tee(sinks ...func(*RunRecord)) func(*RunRecord) {
+	return func(rec *RunRecord) {
+		for _, s := range sinks {
+			s(rec)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dlfuzz/internal/obs"
+)
+
+// WriteWitness renders a witness trace for humans: what ran, the
+// targeted cycle, how the checker steered, and the confirmed deadlock —
+// the `dlfuzz replay` counterpart to the JSONL the witness is stored as.
+func WriteWitness(w io.Writer, wit *obs.Witness) {
+	fmt.Fprintf(w, "witness v%d: %s (sched seed %d, target cycle %d, %s/k=%d)\n",
+		obs.WitnessVersion, wit.Program, wit.SchedSeed, wit.Target,
+		wit.Config.Abstraction, wit.Config.K)
+	for _, c := range wit.Components {
+		fmt.Fprintf(w, "  component %d: thread %s acquires %s", c.Index, c.Thread, c.Lock)
+		if len(c.Context) > 0 {
+			fmt.Fprintf(w, " at [%s]", strings.Join(c.Context, ", "))
+		}
+		fmt.Fprintln(w)
+	}
+	pauses, thrashes, yields, evicts := 0, 0, 0, 0
+	for _, p := range wit.Points {
+		switch p.Kind {
+		case "pause":
+			pauses++
+		case "thrash":
+			thrashes++
+		case "yield":
+			yields++
+		case "evict":
+			evicts++
+		}
+	}
+	fmt.Fprintf(w, "  schedule: %d decisions, %d pauses, %d thrashes, %d yields, %d evictions\n",
+		len(wit.Schedule), pauses, thrashes, yields, evicts)
+	fmt.Fprintf(w, "  deadlock at step %d", wit.DeadlockStep)
+	if wit.Reproduced() {
+		fmt.Fprint(w, " (reproduces the targeted cycle)")
+	} else {
+		fmt.Fprint(w, " (different cycle than targeted)")
+	}
+	fmt.Fprintln(w)
+	for _, e := range wit.Edges {
+		fmt.Fprintf(w, "    t%d wants %s@%s holding [%s]\n",
+			e.Thread, e.Want, e.WantLoc, strings.Join(e.Held, ", "))
+	}
+}

@@ -65,6 +65,7 @@ func (p *Pool) Put(s *Scheduler) {
 	s.policy = nil
 	s.steps = 0
 	s.seq = 0
+	s.acquires = 0
 	s.deadlock = nil
 	s.panicVal = nil
 	p.scheds = append(p.scheds, s)

@@ -134,6 +134,10 @@ type Result struct {
 	Steps int
 	// Events is the number of events emitted to observers.
 	Events uint64
+	// Acquires is the number of monitor acquisitions executed (first
+	// entries only; re-entrant acquires are invisible to the analyses
+	// and are not counted).
+	Acquires uint64
 	// Spawned is the total number of threads created.
 	Spawned int
 	// Allocated is the total number of objects allocated.

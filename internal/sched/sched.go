@@ -105,6 +105,7 @@ type Scheduler struct {
 
 	steps    int
 	seq      uint64
+	acquires uint64
 	deadlock *DeadlockInfo
 	panicVal any
 
@@ -305,6 +306,7 @@ func (s *Scheduler) Run(main func(*Ctx)) *Result {
 		Deadlock:  s.deadlock,
 		Steps:     s.steps,
 		Events:    s.seq,
+		Acquires:  s.acquires,
 		Spawned:   len(s.threads),
 		Allocated: s.alloc.Count(),
 	}
@@ -428,6 +430,7 @@ func (s *Scheduler) execute(t *Thread) {
 		} else {
 			ls.holder = t.id
 			ls.depth = 1
+			s.acquires++
 			site := r.Loc
 			if r.WaitResume {
 				// Returning from wait restores the monitor exactly as

@@ -6,7 +6,8 @@
 #   3. go test           — the full suite (runs campaigns through the
 #                          parallel engine by default)
 #   4. go test -race     — the analysis pipeline, the concurrent
-#                          campaign engine and the harness built on them
+#                          campaign engine, the harness built on them,
+#                          the observability layer and the dlfuzz CLI
 #                          must be race-clean
 #   5. fuzz smoke        — FuzzParser explores for a few seconds from
 #                          the testdata-seeded corpus
@@ -16,6 +17,10 @@
 #   7. pipeline bench    — machine-readable Check cost over the Figure-2
 #                          workloads (BENCH_pipeline.json), tracking the
 #                          multi-cycle campaign's execution counts
+#   8. replay smoke      — fuzz philosophers with -witness-dir, then
+#                          `dlfuzz replay` every emitted witness
+#   9. docs links        — every relative link in README.md and
+#                          docs/*.md resolves to a file in the repo
 #
 # FUZZTIME overrides the smoke window (default 10s); BENCHRUNS the
 # pipeline benchmark's Phase II budget (default 40).
@@ -34,8 +39,9 @@ go build ./...
 echo "== go test ./... =="
 go test ./...
 
-echo "== go test -race (analysis pipeline + campaign engine + harness) =="
-go test -race ./internal/analysis/ ./internal/campaign/ ./internal/harness/
+echo "== go test -race (analysis + campaign + harness + obs + dlfuzz CLI) =="
+go test -race ./internal/analysis/ ./internal/campaign/ ./internal/harness/ \
+	./internal/obs/ ./cmd/dlfuzz/
 
 echo "== fuzz smoke: FuzzParser for ${FUZZTIME} =="
 go test -run=Fuzz -fuzz=FuzzParser -fuzztime="${FUZZTIME}" ./internal/lang/
@@ -45,5 +51,28 @@ go test -run='^$' -bench=. -benchtime=1x .
 
 echo "== pipeline bench: Check cost over Figure-2 workloads =="
 go run ./cmd/dlbench -pipeline-json BENCH_pipeline.json -runs "${BENCHRUNS}"
+
+echo "== replay smoke: witness round trip on philosophers =="
+witdir="$(mktemp -d)"
+trap 'rm -rf "$witdir"' EXIT
+# Exit 1 means "deadlocks found" — expected here; anything else is a failure.
+go run ./cmd/dlfuzz -runs 30 -witness-dir "$witdir" \
+	testdata/philosophers.clf >/dev/null || [ $? -eq 1 ]
+go run ./cmd/dlfuzz replay -q "$witdir"
+
+echo "== docs links: relative links in README.md and docs/*.md resolve =="
+bad=0
+for doc in README.md docs/*.md; do
+	base="$(dirname "$doc")"
+	# Markdown links, minus absolute URLs and in-page anchors.
+	for target in $(grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//' |
+		grep -v '^http' | grep -v '^#' | sed 's/#.*//'); do
+		if [ ! -e "$base/$target" ]; then
+			echo "broken link in $doc: $target"
+			bad=1
+		fi
+	done
+done
+[ "$bad" -eq 0 ]
 
 echo "CI OK"
