@@ -30,14 +30,18 @@ replay-smoke:
 		testdata/philosophers.clf >/dev/null || [ $$? -eq 1 ]; \
 	$(GO) run ./cmd/dlfuzz replay "$$dir"
 
-# Serial-vs-parallel campaign scaling on the CLF programs, plus the
-# machine-readable pipeline cost benchmark (BENCH_pipeline.json).
+# Serial-vs-parallel campaign scaling on the CLF programs, the sharded
+# Phase I closure at 1/2/4 workers, and the machine-readable cost
+# benchmarks (BENCH_pipeline.json, BENCH_phase1.json).
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkConfirmCampaign -benchtime=20x .
+	$(GO) test -run='^$$' -bench=BenchmarkClosure -benchtime=3x .
 	$(GO) run ./cmd/dlbench -pipeline-json BENCH_pipeline.json -runs 100
+	$(GO) run ./cmd/dlbench -phase1-json BENCH_phase1.json
 
-# One pass over every benchmark, so benchmark-only code paths compile
-# and run (the CI bench smoke, runnable on its own).
+# One pass over every benchmark — including the Phase I closure smoke
+# (BenchmarkClosure at every worker count) — so benchmark-only code
+# paths compile and run (the CI bench smoke, runnable on its own).
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 

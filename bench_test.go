@@ -345,6 +345,35 @@ func BenchmarkIGoodlockJoin(b *testing.B) {
 	b.ReportMetric(float64(rec.Len()), "deps")
 }
 
+// BenchmarkClosure measures the iGoodlock closure itself — serial vs
+// sharded — on the synthetic wide relation (64 threads × 32 chained ring
+// locks, multi-element held sets): exactly the dependency-heavy shape
+// where the iterative join dominates Phase I. One op is a full closure;
+// the w1 case is the serial Find, so w4/w1 is the sharding speedup
+// (BENCH_phase1.json records the same measurement machine-readably).
+// The report is byte-identical at every width, pinned by the
+// differential tests in internal/igoodlock.
+func BenchmarkClosure(b *testing.B) {
+	deps := igoodlock.WideRelation(64, 32, 2)
+	for _, maxLen := range []int{2, 3} {
+		cfg := igoodlock.WideConfig(maxLen)
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("k%d/w%d", maxLen, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				var cycles int
+				for i := 0; i < b.N; i++ {
+					cycles = len(igoodlock.FindParallel(deps, cfg, workers))
+				}
+				if cycles == 0 {
+					b.Fatal("synthetic relation yields no cycles")
+				}
+				b.ReportMetric(float64(cycles), "cycles")
+				b.ReportMetric(float64(len(deps)), "deps")
+			})
+		}
+	}
+}
+
 // BenchmarkNoiseBaseline contrasts DeadlockFuzzer with the ConTest-style
 // noise approach the paper's related-work section discusses: random
 // delays at synchronization points instead of targeted pauses. Compare

@@ -28,6 +28,8 @@ import (
 	"dlfuzz"
 	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/harness"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/lockset"
 	"dlfuzz/internal/obs"
 	"dlfuzz/internal/report"
 	"dlfuzz/internal/workloads"
@@ -39,8 +41,11 @@ func main() {
 		fig          = flag.String("fig", "", "regenerate one figure graph (\"2a\", \"2b\", \"2c\", \"2d\")")
 		imprecision  = flag.Bool("imprecision", false, "run the Section 5.4 imprecision study on Jigsaw")
 		pipelineJSON = flag.String("pipeline-json", "", "write a machine-readable Check benchmark over the Figure-2 workloads to this file and exit")
+		phase1JSON   = flag.String("phase1-json", "", "write a machine-readable Phase I campaign + sharded closure benchmark to this file and exit")
 		workload     = flag.String("workload", "", "restrict -pipeline-json to one workload (useful with the profile flags)")
 		runs         = flag.Int("runs", 100, "Phase II execution budget per workload (shared across its cycles)")
+		p1runs       = flag.Int("p1-runs", 1, "Phase I observation runs per workload (-phase1-json defaults to 8)")
+		p1par        = flag.Int("p1-parallel", 0, "Phase I campaign and closure workers (0 = all cores); results are identical")
 		maxCycles    = flag.Int("max-cycles", 0, "cap cycles per benchmark (0 = all)")
 		parallel     = flag.Int("parallel", 0, "campaign workers (0 = all cores, 1 = serial); results are identical")
 		stopAfter    = flag.Int("stop-after", 0, "stop each campaign after N targeted reproductions (0 = run all seeds)")
@@ -74,22 +79,25 @@ func main() {
 		}()
 	}
 
-	if err := run(*table, *fig, *imprecision, *pipelineJSON, *workload, *metricsOut,
-		*runs, *maxCycles, *parallel, *stopAfter); err != nil {
+	if err := run(*table, *fig, *imprecision, *pipelineJSON, *phase1JSON, *workload, *metricsOut,
+		*runs, *maxCycles, *parallel, *stopAfter, *p1runs, *p1par); err != nil {
 		fail(err)
 	}
 }
 
 // run is main minus flag parsing and profiling, so the profile teardown
 // deferred in main still executes on the error paths.
-func run(table, fig string, imprecision bool, pipelineJSON, workload, metricsOut string, runs, maxCycles, parallel, stopAfter int) error {
+func run(table, fig string, imprecision bool, pipelineJSON, phase1JSON, workload, metricsOut string, runs, maxCycles, parallel, stopAfter, p1runs, p1par int) error {
 	copts := campaign.Options{Parallelism: parallel, StopAfter: stopAfter}
 
 	if pipelineJSON != "" {
-		return pipelineBench(pipelineJSON, metricsOut, workload, runs, parallel)
+		return pipelineBench(pipelineJSON, metricsOut, workload, runs, parallel, p1runs, p1par)
 	}
 	if metricsOut != "" {
 		return fmt.Errorf("-metrics-out requires -pipeline-json")
+	}
+	if phase1JSON != "" {
+		return phase1Bench(phase1JSON, p1runs, p1par)
 	}
 
 	all := table == "" && fig == "" && !imprecision
@@ -171,11 +179,15 @@ type pipelineRow struct {
 	Confirmed  int    `json:"confirmed"`
 	Executions int    `json:"executions"`
 	Steps      int    `json:"steps"`
-	WallMs     int64  `json:"wallMs"`
+	// Phase1Ms times observation + closure, Phase2Ms the confirmation
+	// campaign; WallMs is their sum (the whole Check).
+	Phase1Ms int64 `json:"phase1Ms"`
+	Phase2Ms int64 `json:"phase2Ms"`
+	WallMs   int64 `json:"wallMs"`
 	// StepsPerSec is Phase II scheduler throughput (campaign steps over
-	// campaign wall time); AllocsPerStep is heap allocations per step
-	// over the whole pipeline (runtime mallocs delta / Steps). Both are
-	// machine-dependent, unlike Executions and Steps.
+	// the Phase II wall time); AllocsPerStep is heap allocations per
+	// step over the whole pipeline (runtime mallocs delta / Steps). Both
+	// are machine-dependent, unlike Executions and Steps.
 	StepsPerSec   float64 `json:"stepsPerSec"`
 	AllocsPerStep float64 `json:"allocsPerStep"`
 }
@@ -183,16 +195,19 @@ type pipelineRow struct {
 // pipelineBench runs the full Check pipeline on the Figure-2 workloads
 // (or just the -workload one) and writes a machine-readable benchmark
 // file, so the cost of the multi-cycle campaign (executions, steps, wall
-// time, allocation rate) is tracked across revisions. Executions and
-// Steps are deterministic for a fixed runs value; WallMs, StepsPerSec
-// and AllocsPerStep are the machine-dependent columns.
-func pipelineBench(path, metricsOut, only string, runs, parallel int) error {
+// time, allocation rate) is tracked across revisions. The two phases run
+// (and are timed) separately, so a regression report can say which one
+// moved. Executions and Steps are deterministic for a fixed runs value;
+// the wall-time columns, StepsPerSec and AllocsPerStep are
+// machine-dependent.
+func pipelineBench(path, metricsOut, only string, runs, parallel, p1runs, p1par int) error {
 	type doc struct {
 		Runs        int           `json:"runs"`
 		Parallelism int           `json:"parallelism"`
+		P1Runs      int           `json:"p1Runs"`
 		Workloads   []pipelineRow `json:"workloads"`
 	}
-	out := doc{Runs: runs, Parallelism: parallel}
+	out := doc{Runs: runs, Parallelism: parallel, P1Runs: max(p1runs, 1)}
 	// One metrics accumulator spans every workload's campaign, so the
 	// snapshot describes the whole benchmark run. Left nil (no per-run
 	// hook, no timing) unless -metrics-out asks for it.
@@ -205,6 +220,8 @@ func pipelineBench(path, metricsOut, only string, runs, parallel int) error {
 			continue
 		}
 		opts := dlfuzz.DefaultCheckOptions()
+		opts.Find.Runs = p1runs
+		opts.Find.Parallelism = p1par
 		opts.Confirm.Runs = runs
 		opts.Confirm.Parallelism = parallel
 		if metrics != nil {
@@ -213,24 +230,27 @@ func pipelineBench(path, metricsOut, only string, runs, parallel int) error {
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		rep, err := dlfuzz.Check(w.Prog, opts)
-		wall := time.Since(start)
-		runtime.ReadMemStats(&after)
+		find, err := dlfuzz.Find(w.Prog, opts.Find)
+		phase1 := time.Since(start)
 		if err != nil {
 			return fmt.Errorf("pipeline bench %s: %w", w.Name, err)
 		}
+		start = time.Now()
+		multi := dlfuzz.ConfirmAll(w.Prog, find.Cycles, opts.Confirm)
+		phase2 := time.Since(start)
+		runtime.ReadMemStats(&after)
 		row := pipelineRow{
 			Workload:   w.Name,
-			Cycles:     len(rep.Cycles),
-			Confirmed:  len(rep.Confirmed()),
-			Executions: rep.Executions,
-			WallMs:     wall.Milliseconds(),
-		}
-		for _, c := range rep.Cycles {
-			row.Steps += c.Confirm.Steps
+			Cycles:     len(find.Cycles),
+			Confirmed:  len(multi.Confirmed()),
+			Executions: multi.Executions,
+			Steps:      multi.Steps,
+			Phase1Ms:   phase1.Milliseconds(),
+			Phase2Ms:   phase2.Milliseconds(),
+			WallMs:     (phase1 + phase2).Milliseconds(),
 		}
 		if row.Steps > 0 {
-			row.StepsPerSec = math.Round(float64(row.Steps) / wall.Seconds())
+			row.StepsPerSec = math.Round(float64(row.Steps) / phase2.Seconds())
 			mallocs := float64(after.Mallocs - before.Mallocs)
 			row.AllocsPerStep = math.Round(mallocs/float64(row.Steps)*1000) / 1000
 		}
@@ -265,6 +285,128 @@ func pipelineBench(path, metricsOut, only string, runs, parallel int) error {
 	}
 	fmt.Printf("wrote %s\n", path)
 	return f.Close()
+}
+
+// phase1Row is one workload's entry in BENCH_phase1.json: the campaign's
+// dedup and saturation stats plus its wall time.
+type phase1Row struct {
+	Workload       string `json:"workload"`
+	Runs           int    `json:"runs"`
+	Completed      int    `json:"completed"`
+	RawDeps        int    `json:"rawDeps"`
+	MergedDeps     int    `json:"mergedDeps"`
+	Cycles         int    `json:"cycles"`
+	FalsePositives int    `json:"falsePositives"`
+	NewCyclesByRun []int  `json:"newCyclesByRun"`
+	Phase1Ms       int64  `json:"phase1Ms"`
+}
+
+// closureTiming is the sharded-closure benchmark on the synthetic wide
+// relation at one cycle-length bound: serial wall time vs 2 and 4
+// workers, plus the 4-worker speedup. On a single-core host the speedup
+// hovers around 1.0 (the Gomaxprocs field says so); the differential
+// tests assert the outputs are byte-identical regardless.
+type closureTiming struct {
+	MaxLen   int     `json:"maxLen"`
+	Cycles   int     `json:"cycles"`
+	SerialMs int64   `json:"serialMs"`
+	W2Ms     int64   `json:"w2Ms"`
+	W4Ms     int64   `json:"w4Ms"`
+	Speedup4 float64 `json:"speedup4"`
+}
+
+// phase1Bench writes BENCH_phase1.json: multi-seed campaign stats for
+// the saturation workloads and wall-time measurements of the sharded
+// closure on the synthetic wide relation.
+func phase1Bench(path string, p1runs, p1par int) error {
+	if p1runs <= 1 {
+		p1runs = 8
+	}
+	type doc struct {
+		P1Runs      int             `json:"p1Runs"`
+		Parallelism int             `json:"parallelism"`
+		Gomaxprocs  int             `json:"gomaxprocs"`
+		Workloads   []phase1Row     `json:"workloads"`
+		Closure     []closureTiming `json:"closure"`
+	}
+	out := doc{P1Runs: p1runs, Parallelism: p1par, Gomaxprocs: runtime.GOMAXPROCS(0)}
+
+	for _, name := range []string{"lists", "maps", "dbcp"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return fmt.Errorf("phase1 bench: unknown workload %q", name)
+		}
+		opts := dlfuzz.DefaultFindOptions()
+		opts.Seed = 1
+		opts.Runs = p1runs
+		opts.Parallelism = p1par
+		start := time.Now()
+		rep, err := dlfuzz.Find(w.Prog, opts)
+		wall := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("phase1 bench %s: %w", name, err)
+		}
+		out.Workloads = append(out.Workloads, phase1Row{
+			Workload:       name,
+			Runs:           rep.ObservationRuns,
+			Completed:      rep.CompletedRuns,
+			RawDeps:        rep.RawDeps,
+			MergedDeps:     rep.Deps,
+			Cycles:         len(rep.Cycles),
+			FalsePositives: len(rep.FalsePositives),
+			NewCyclesByRun: rep.NewCyclesByRun,
+			Phase1Ms:       wall.Milliseconds(),
+		})
+	}
+
+	deps := igoodlock.WideRelation(64, 32, 2)
+	for _, maxLen := range []int{2, 3} {
+		cfg := igoodlock.WideConfig(maxLen)
+		time1, cycles := timeClosure(deps, cfg, 1)
+		time2, _ := timeClosure(deps, cfg, 2)
+		time4, _ := timeClosure(deps, cfg, 4)
+		t := closureTiming{
+			MaxLen:   maxLen,
+			Cycles:   cycles,
+			SerialMs: time1.Milliseconds(),
+			W2Ms:     time2.Milliseconds(),
+			W4Ms:     time4.Milliseconds(),
+		}
+		if time4 > 0 {
+			t.Speedup4 = math.Round(float64(time1)/float64(time4)*100) / 100
+		}
+		out.Closure = append(out.Closure, t)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return f.Close()
+}
+
+// timeClosure runs the sharded closure at the given width and returns
+// the best of three wall times (the benchmark is short; the minimum
+// discards scheduler and GC noise) plus the cycle count.
+func timeClosure(deps []*lockset.Dep, cfg igoodlock.Config, workers int) (time.Duration, int) {
+	best := time.Duration(math.MaxInt64)
+	cycles := 0
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		got := igoodlock.FindParallel(deps, cfg, workers)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		cycles = len(got)
+	}
+	return best, cycles
 }
 
 func fail(err error) {

@@ -54,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noYield   = fs.Bool("no-yields", false, "disable the yield optimization (variant 5)")
 		maxLen    = fs.Int("max-cycle-len", 0, "bound cycle length in Phase I (0 = unbounded)")
 		seed      = fs.Int64("seed", 1, "first seed for the Phase I observation run")
+		p1runs    = fs.Int("p1-runs", 1, "Phase I observation runs; relations are merged and closed once")
+		p1par     = fs.Int("p1-parallel", 0, "Phase I campaign and closure workers (0 = all cores, 1 = serial); results are identical")
 		parallel  = fs.Int("parallel", 0, "Phase II campaign workers (0 = all cores, 1 = serial); results are identical")
 		stopAfter = fs.Int("stop-after", 0, "stop the campaign after N targeted reproductions (0 = run all seeds)")
 		witDir    = fs.String("witness-dir", "", "write one replayable witness trace per confirmed cycle into this directory")
@@ -91,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := dlfuzz.CheckOptions{
 		Find: dlfuzz.FindOptions{
 			Abstraction: abstraction, K: *k, MaxCycleLen: *maxLen, Seed: *seed,
+			Runs: *p1runs, Parallelism: *p1par,
 		},
 		Confirm: dlfuzz.ConfirmOptions{
 			Abstraction: abstraction, K: *k,
@@ -110,6 +113,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	fmt.Fprintf(stdout, "dependency relation: %d entries (observation seed %d)\n", find.Deps, find.Seed)
+	// Campaign stats only exist past a single run; printing them
+	// unconditionally would change the single-run output contract.
+	if find.ObservationRuns > 1 {
+		fmt.Fprintf(stdout, "observation campaign: %d of %d runs completed, %d raw deps merged to %d\n",
+			find.CompletedRuns, find.ObservationRuns, find.RawDeps, find.Deps)
+		fmt.Fprintf(stdout, "new cycles by run: %v\n", find.NewCyclesByRun)
+	}
 	fmt.Fprintf(stdout, "potential deadlock cycles: %d (+%d provably false by happens-before)\n",
 		len(find.Cycles), len(find.FalsePositives))
 	for i, cyc := range find.Cycles {

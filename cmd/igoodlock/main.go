@@ -19,6 +19,8 @@ func main() {
 		k        = flag.Int("k", 10, "abstraction depth")
 		maxLen   = flag.Int("max-cycle-len", 0, "bound cycle length (0 = unbounded; the paper suggests 2 on a budget)")
 		seed     = flag.Int64("seed", 1, "first observation seed")
+		runs     = flag.Int("runs", 1, "observation runs; relations are merged and closed once")
+		parallel = flag.Int("parallel", 0, "campaign and closure workers (0 = all cores, 1 = serial); results are identical")
 		showDeps = flag.Bool("deps", false, "also print the lock dependency relation size")
 	)
 	flag.Parse()
@@ -55,6 +57,8 @@ func main() {
 	opts.K = *k
 	opts.MaxCycleLen = *maxLen
 	opts.Seed = *seed
+	opts.Runs = *runs
+	opts.Parallelism = *parallel
 	rep, err := dlfuzz.Find(prog, opts)
 	// Deadlocks hit while trying to observe a completed run are real
 	// findings — print them whether or not prediction succeeded.
@@ -71,6 +75,10 @@ func main() {
 	}
 	if *showDeps {
 		fmt.Printf("%s: lock dependency relation has %d entries\n", name, rep.Deps)
+	}
+	if rep.ObservationRuns > 1 {
+		fmt.Printf("%s: %d of %d observation runs completed, %d raw deps merged to %d, new cycles by run %v\n",
+			name, rep.CompletedRuns, rep.ObservationRuns, rep.RawDeps, rep.Deps, rep.NewCyclesByRun)
 	}
 	fmt.Printf("%s: %d potential deadlock cycles, %d provably false\n",
 		name, len(rep.Cycles), len(rep.FalsePositives))

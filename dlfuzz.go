@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"dlfuzz/internal/analysis"
 	"dlfuzz/internal/avoid"
 	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/event"
@@ -85,6 +86,18 @@ type FindOptions struct {
 	Seed int64
 	// MaxSteps bounds the observation execution (0 = default).
 	MaxSteps int
+	// Runs is the number of observation executions (0 and 1 both mean
+	// one). Extra runs observe the program under different schedules,
+	// their dependency relations are merged (deduplicated) in run order,
+	// and iGoodlock runs once over the merge — so cycles that need lock
+	// orders from different runs are still found, and the report is a
+	// superset of what any single run predicts.
+	Runs int
+	// Parallelism shards observation runs across workers and the closure
+	// of the merged relation across the same number of shards: 0 means
+	// one worker per core, 1 means serial. The report is identical at
+	// every setting.
+	Parallelism int
 }
 
 // DefaultFindOptions returns the paper's configuration: execution
@@ -111,19 +124,38 @@ type FindReport struct {
 	ObservedDeadlocks []*DeadlockInfo
 	// Attempts is the number of observation seeds tried.
 	Attempts int
+	// ObservationRuns and CompletedRuns size the observation campaign
+	// (both 1 for a single-run Find); RawDeps is the total relation size
+	// across runs before the merge, so RawDeps-Deps dependencies were
+	// duplicates.
+	ObservationRuns int
+	CompletedRuns   int
+	RawDeps         int
+	// NewCyclesByRun is the saturation curve: per run, in run order, how
+	// many of its plausible cycles no earlier run had reported.
+	NewCyclesByRun []int
 }
 
-// Find observes one execution of prog and reports potential deadlock
-// cycles (iGoodlock). It retries seeds until an observation run
-// completes; ErrNoCompletedRun is returned if none does, together with
-// a partial report carrying any deadlocks the attempts witnessed.
+// Find observes prog and reports potential deadlock cycles (iGoodlock).
+// With opts.Runs > 1 it runs a multi-seed observation campaign: the
+// runs' dependency relations are merged and closed once, so the report
+// is a superset of any single run's. Each run retries seeds until an
+// observation execution completes; ErrNoCompletedRun is returned if no
+// run completes, together with a partial report carrying any deadlocks
+// the attempts witnessed.
 func Find(prog func(*Ctx), opts FindOptions) (*FindReport, error) {
 	cfg := igoodlock.Config{
 		Abstraction: opts.Abstraction,
 		K:           opts.K,
 		MaxLen:      opts.MaxCycleLen,
 	}
-	p1, err := harness.RunPhase1(prog, cfg, opts.Seed, opts.MaxSteps)
+	p1, err := harness.RunPhase1Campaign(prog, cfg, analysis.CampaignOptions{
+		Runs:               opts.Runs,
+		Parallelism:        opts.Parallelism,
+		ClosureParallelism: opts.Parallelism,
+		Seed:               opts.Seed,
+		MaxSteps:           opts.MaxSteps,
+	})
 	return &FindReport{
 		Cycles:            p1.Cycles,
 		FalsePositives:    p1.FalsePositives,
@@ -131,6 +163,10 @@ func Find(prog func(*Ctx), opts FindOptions) (*FindReport, error) {
 		Seed:              p1.Seed,
 		ObservedDeadlocks: p1.ObservedDeadlocks,
 		Attempts:          p1.Attempts,
+		ObservationRuns:   p1.Runs,
+		CompletedRuns:     p1.Completed,
+		RawDeps:           p1.RawDeps,
+		NewCyclesByRun:    p1.NewCyclesByRun(),
 	}, err
 }
 

@@ -267,3 +267,50 @@ func TestRunImmuneSuppressesConfirmedDeadlock(t *testing.T) {
 		t.Error("immunity never deferred a decision")
 	}
 }
+
+// TestFindCampaignFindsAtLeastSingleRun pins the multi-seed Phase I
+// acceptance bar on the two dependency-heavy workloads: an 8-run
+// campaign must predict (and Check must confirm) at least as many
+// cycles as a single observation run, and the report must carry the
+// campaign's dedup stats.
+func TestFindCampaignFindsAtLeastSingleRun(t *testing.T) {
+	for _, name := range []string{"lists", "maps"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("workload %q missing", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			single := dlfuzz.DefaultCheckOptions()
+			single.Confirm.Runs = 40
+			one, err := dlfuzz.Check(w.Prog, single)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			multi := single
+			multi.Find.Runs = 8
+			many, err := dlfuzz.Check(w.Prog, multi)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(many.Find.Cycles) < len(one.Find.Cycles) {
+				t.Errorf("campaign predicted %d cycles, single run %d",
+					len(many.Find.Cycles), len(one.Find.Cycles))
+			}
+			if len(many.Confirmed()) < len(one.Confirmed()) {
+				t.Errorf("campaign confirmed %d cycles, single run %d",
+					len(many.Confirmed()), len(one.Confirmed()))
+			}
+			fr := many.Find
+			if fr.ObservationRuns != 8 || fr.CompletedRuns == 0 ||
+				fr.RawDeps < fr.Deps || len(fr.NewCyclesByRun) != 8 {
+				t.Errorf("campaign stats malformed: runs=%d completed=%d raw=%d merged=%d curve=%v",
+					fr.ObservationRuns, fr.CompletedRuns, fr.RawDeps, fr.Deps, fr.NewCyclesByRun)
+			}
+			if one.Find.ObservationRuns != 1 || one.Find.RawDeps != one.Find.Deps {
+				t.Errorf("single-run stats malformed: %+v", one.Find)
+			}
+		})
+	}
+}

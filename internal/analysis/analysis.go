@@ -71,12 +71,25 @@ type Exec struct {
 // run again, but analyses accumulate — attach fresh ones per execution
 // unless accumulation is wanted.
 func (p *Pipeline) Run(prog func(*sched.Ctx), ex Exec) *sched.Result {
-	return sched.New(sched.Options{
+	return sched.New(p.options(ex)).Run(prog)
+}
+
+// RunPooled is Run with the scheduler shell drawn from (and recycled
+// into) pool. Pooled shells are reset to the observable state of fresh
+// ones, so the result and every observer's view are byte-identical to
+// Run's; campaign workers use this to amortize scheduler allocation
+// across their seeds.
+func (p *Pipeline) RunPooled(pool *sched.Pool, prog func(*sched.Ctx), ex Exec) *sched.Result {
+	return pool.Run(p.options(ex), prog)
+}
+
+func (p *Pipeline) options(ex Exec) sched.Options {
+	return sched.Options{
 		Seed:      ex.Seed,
 		MaxSteps:  ex.MaxSteps,
 		Policy:    ex.Policy,
 		Observers: append([]sched.Observer(nil), p.observers...),
-	}).Run(prog)
+	}
 }
 
 // Stats is a cheap always-on analysis: event totals by kind.
@@ -135,6 +148,53 @@ type Observation struct {
 // maxObserveAttempts bounds the retry loop over seeds.
 const maxObserveAttempts = 100
 
+// runOutcome is one observation run's raw result: the retry loop over
+// seeds base..base+maxObserveAttempts-1 reduced to the first completing
+// execution's recordings (or to the witnessed deadlocks when none
+// completed).
+type runOutcome struct {
+	seed      int64 // completing seed, or the last attempted one
+	attempts  int
+	completed bool
+	deps      []*lockset.Dep
+	steps     int
+	events    uint64
+	stats     *Stats
+	deadlocks []*sched.DeadlockInfo
+}
+
+// observeRun executes one observation run: seeds from base upward are
+// tried until an execution completes, each attempt running a fresh
+// HB + lock-dependency pipeline on a pooled scheduler shell. Attempts
+// that deadlock are recorded on the outcome, not discarded.
+func observeRun(pool *sched.Pool, prog func(*sched.Ctx), base int64, maxSteps int) runOutcome {
+	ro := runOutcome{seed: base}
+	for attempt := 0; attempt < maxObserveAttempts; attempt++ {
+		s := base + int64(attempt)
+		ro.seed = s
+		ro.attempts = attempt + 1
+
+		var p Pipeline
+		tracker := p.HB()
+		rec := p.LockDeps(tracker)
+		stats := p.Stats()
+		res := p.RunPooled(pool, prog, Exec{Seed: s, MaxSteps: maxSteps})
+		if res.Outcome != sched.Completed {
+			if res.Outcome == sched.Deadlock && res.Deadlock != nil {
+				ro.deadlocks = append(ro.deadlocks, res.Deadlock)
+			}
+			continue
+		}
+		ro.completed = true
+		ro.deps = rec.Deps()
+		ro.steps = res.Steps
+		ro.events = res.Events
+		ro.stats = stats
+		return ro
+	}
+	return ro
+}
+
 // Observe runs the Phase I observation pass: seeds from seed upward are
 // tried until an execution completes, each attempt running a fresh
 // HB + lock-dependency pipeline. Attempts that deadlock are recorded on
@@ -143,30 +203,20 @@ const maxObserveAttempts = 100
 // (cycle-less) Observation carrying whatever deadlocks were witnessed —
 // callers that give up on prediction can still report those.
 func Observe(prog func(*sched.Ctx), cfg igoodlock.Config, seed int64, maxSteps int) (*Observation, error) {
-	obs := &Observation{Seed: seed}
-	for attempt := 0; attempt < maxObserveAttempts; attempt++ {
-		s := seed + int64(attempt)
-		obs.Seed = s
-		obs.Attempts = attempt + 1
-
-		var p Pipeline
-		tracker := p.HB()
-		rec := p.LockDeps(tracker)
-		stats := p.Stats()
-		res := p.Run(prog, Exec{Seed: s, MaxSteps: maxSteps})
-		if res.Outcome != sched.Completed {
-			if res.Outcome == sched.Deadlock && res.Deadlock != nil {
-				obs.ObservedDeadlocks = append(obs.ObservedDeadlocks, res.Deadlock)
-			}
-			continue
-		}
-		all := igoodlock.Find(rec.Deps(), cfg)
-		obs.Cycles, obs.FalsePositives = hb.FilterCycles(all)
-		obs.Deps = rec.Len()
-		obs.Steps = res.Steps
-		obs.Events = res.Events
-		obs.Stats = stats
-		return obs, nil
+	ro := observeRun(sched.NewPool(), prog, seed, maxSteps)
+	obs := &Observation{
+		Seed:              ro.seed,
+		Attempts:          ro.attempts,
+		ObservedDeadlocks: ro.deadlocks,
 	}
-	return obs, ErrNoCompletedRun
+	if !ro.completed {
+		return obs, ErrNoCompletedRun
+	}
+	all := igoodlock.Find(ro.deps, cfg)
+	obs.Cycles, obs.FalsePositives = hb.FilterCycles(all)
+	obs.Deps = len(ro.deps)
+	obs.Steps = ro.steps
+	obs.Events = ro.events
+	obs.Stats = ro.stats
+	return obs, nil
 }

@@ -1,0 +1,204 @@
+package analysis_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"dlfuzz/internal/analysis"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/workloads"
+)
+
+// cycleKeys reduces a cycle list to its dedup keys, in report order.
+func cycleKeys(cycles []*igoodlock.Cycle) []string {
+	keys := make([]string, len(cycles))
+	for i, c := range cycles {
+		keys[i] = c.Key()
+	}
+	return keys
+}
+
+// TestObserveManySingleRunMatchesObserve pins the campaign's degenerate
+// case: with Runs=1 the merged observation must equal the legacy
+// single-run Observe on every workload — same completing seed, same
+// relation size, same cycles in the same order.
+func TestObserveManySingleRunMatchesObserve(t *testing.T) {
+	cfg := igoodlock.DefaultConfig()
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want, wantErr := analysis.Observe(w.Prog, cfg, 1, 0)
+			got, gotErr := analysis.ObserveMany(w.Prog, cfg, analysis.CampaignOptions{
+				Runs: 1, Seed: 1,
+			})
+			if !errors.Is(gotErr, wantErr) && (gotErr != nil) != (wantErr != nil) {
+				t.Fatalf("err = %v, Observe err = %v", gotErr, wantErr)
+			}
+			if gotErr != nil {
+				return
+			}
+			if got.Seed != want.Seed || got.Attempts != want.Attempts ||
+				got.Deps != want.Deps || got.Steps != want.Steps || got.Events != want.Events {
+				t.Errorf("scalars diverged:\ncampaign %+v\nobserve  %+v", got.Observation, *want)
+			}
+			if !reflect.DeepEqual(cycleKeys(got.Cycles), cycleKeys(want.Cycles)) {
+				t.Errorf("cycles diverged:\ncampaign %v\nobserve  %v",
+					cycleKeys(got.Cycles), cycleKeys(want.Cycles))
+			}
+			if !reflect.DeepEqual(cycleKeys(got.FalsePositives), cycleKeys(want.FalsePositives)) {
+				t.Errorf("false positives diverged")
+			}
+			if want.Stats != nil && !reflect.DeepEqual(*got.Stats, *want.Stats) {
+				t.Errorf("stats diverged: %+v vs %+v", *got.Stats, *want.Stats)
+			}
+			if got.Runs != 1 || got.Completed != 1 || got.RawDeps != want.Deps {
+				t.Errorf("campaign bookkeeping off for a single run: %+v", got)
+			}
+		})
+	}
+}
+
+// TestObserveManyParallelismInvariant is the campaign's differential
+// test: for fixed options, the merged observation must be deeply
+// identical at observation parallelism 1 and 4 and at closure
+// parallelism 1 and 4, on every workload.
+func TestObserveManyParallelismInvariant(t *testing.T) {
+	cfg := igoodlock.DefaultConfig()
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			base := analysis.CampaignOptions{Runs: 4, Seed: 1, Parallelism: 1, ClosureParallelism: 1}
+			want, wantErr := analysis.ObserveMany(w.Prog, cfg, base)
+			for _, opts := range []analysis.CampaignOptions{
+				{Runs: 4, Seed: 1, Parallelism: 4, ClosureParallelism: 1},
+				{Runs: 4, Seed: 1, Parallelism: 4, ClosureParallelism: 4},
+				{Runs: 4, Seed: 1, Parallelism: 2, ClosureParallelism: 3},
+			} {
+				got, gotErr := analysis.ObserveMany(w.Prog, cfg, opts)
+				if (gotErr != nil) != (wantErr != nil) {
+					t.Fatalf("opts %+v: err = %v, serial err = %v", opts, gotErr, wantErr)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("opts %+v: campaign observation diverged from serial", opts)
+				}
+			}
+		})
+	}
+}
+
+// TestObserveManySupersetOfEachRun checks the property the merged
+// relation design exists for: the campaign's cycle set contains every
+// cycle any constituent run finds on its own. Each run's solo result is
+// computed through the legacy Observe at the campaign's per-run base
+// seed, so the comparison is against genuinely independent analyses.
+func TestObserveManySupersetOfEachRun(t *testing.T) {
+	cfg := igoodlock.DefaultConfig()
+	const runs = 4
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			got, err := analysis.ObserveMany(w.Prog, cfg, analysis.CampaignOptions{Runs: runs, Seed: 1})
+			if err != nil {
+				t.Skipf("campaign did not complete: %v", err)
+			}
+			merged := make(map[string]bool)
+			for _, c := range got.Cycles {
+				merged[c.Key()] = true
+			}
+			mergedAll := make(map[string]bool)
+			for _, c := range append(got.Cycles, got.FalsePositives...) {
+				mergedAll[c.Key()] = true
+			}
+			for i := 0; i < runs; i++ {
+				solo, err := analysis.Observe(w.Prog, cfg, 1+int64(i)*100, 0)
+				if err != nil {
+					continue
+				}
+				if got.PerRun[i].Cycles != len(solo.Cycles) {
+					t.Errorf("run %d: campaign counted %d cycles, solo Observe found %d",
+						i, got.PerRun[i].Cycles, len(solo.Cycles))
+				}
+				for _, c := range solo.Cycles {
+					if !merged[c.Key()] {
+						t.Errorf("run %d: plausible cycle lost in merge: %s", i, c.Key())
+					}
+				}
+				for _, c := range append(solo.Cycles, solo.FalsePositives...) {
+					if !mergedAll[c.Key()] {
+						t.Errorf("run %d: candidate cycle lost in merge: %s", i, c.Key())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestObserveManyBookkeeping checks the dedup and saturation stats on a
+// workload with cycles: raw >= merged relation size, the saturation
+// curve's total equals the number of distinct per-run cycle keys, and
+// per-run stats line up with the runs.
+func TestObserveManyBookkeeping(t *testing.T) {
+	w, ok := workloads.ByName("lists")
+	if !ok {
+		t.Skip("lists workload absent")
+	}
+	const runs = 6
+	got, err := analysis.ObserveMany(w.Prog, igoodlock.DefaultConfig(),
+		analysis.CampaignOptions{Runs: runs, Seed: 1})
+	if err != nil {
+		t.Fatalf("ObserveMany: %v", err)
+	}
+	if got.Runs != runs || len(got.PerRun) != runs {
+		t.Fatalf("runs = %d, per-run entries = %d, want %d", got.Runs, len(got.PerRun), runs)
+	}
+	if got.Completed == 0 || got.Completed > runs {
+		t.Fatalf("completed = %d of %d", got.Completed, runs)
+	}
+	if got.RawDeps < got.Deps {
+		t.Errorf("raw relation (%d) smaller than merged (%d)", got.RawDeps, got.Deps)
+	}
+	if len(got.Cycles) == 0 {
+		t.Errorf("campaign found no cycles on lists")
+	}
+	newTotal, attempts := 0, 0
+	for i, rs := range got.PerRun {
+		newTotal += rs.NewCycles
+		attempts += rs.Attempts
+		if rs.NewCycles > rs.Cycles {
+			t.Errorf("run %d: %d new of %d cycles", i, rs.NewCycles, rs.Cycles)
+		}
+		if rs.Completed && rs.Deps == 0 {
+			t.Errorf("run %d: completed with an empty relation", i)
+		}
+	}
+	if attempts != got.Attempts {
+		t.Errorf("per-run attempts sum to %d, campaign says %d", attempts, got.Attempts)
+	}
+	if newTotal == 0 {
+		t.Errorf("saturation curve empty: no run contributed a new cycle")
+	}
+}
+
+// TestObserveManyNoCompletedRun checks the failure path: a program that
+// always deadlocks exhausts every run's budget, the campaign reports
+// ErrNoCompletedRun, and the witnessed deadlocks survive.
+func TestObserveManyNoCompletedRun(t *testing.T) {
+	got, err := analysis.ObserveMany(certainDeadlock, igoodlock.Config{K: 10},
+		analysis.CampaignOptions{Runs: 2, Seed: 1})
+	if !errors.Is(err, analysis.ErrNoCompletedRun) {
+		t.Fatalf("err = %v", err)
+	}
+	if got.Completed != 0 || len(got.PerRun) != 2 {
+		t.Fatalf("partial campaign: %+v", got)
+	}
+	if got.Attempts != 200 {
+		t.Errorf("attempts = %d, want both runs' full budgets", got.Attempts)
+	}
+	if len(got.ObservedDeadlocks) != 200 {
+		t.Errorf("observed %d deadlocks in 200 deadlocking attempts", len(got.ObservedDeadlocks))
+	}
+	if len(got.Cycles) != 0 || got.Deps != 0 {
+		t.Errorf("failed campaign claims analysis results: %+v", got)
+	}
+}

@@ -41,6 +41,42 @@ func RunPhase1(prog func(*sched.Ctx), cfg igoodlock.Config, seed int64, maxSteps
 	return res, err
 }
 
+// Phase1Campaign is the outcome of a multi-seed Phase I observation
+// campaign: per-run observations merged into one relation and closed
+// once (see analysis.ObserveMany), plus the wall time around the whole
+// campaign.
+type Phase1Campaign struct {
+	analysis.CampaignObservation
+	// Elapsed is the wall time of all observation runs, the relation
+	// merge and the closure of the merged relation.
+	Elapsed time.Duration
+}
+
+// NewCyclesByRun returns the campaign's saturation curve: for each run,
+// in run order, how many of its plausible cycles no earlier run had
+// reported. A flat tail means further observation runs stopped
+// discovering candidates.
+func (c *Phase1Campaign) NewCyclesByRun() []int {
+	out := make([]int, len(c.PerRun))
+	for i, rs := range c.PerRun {
+		out[i] = rs.NewCycles
+	}
+	return out
+}
+
+// RunPhase1Campaign runs opts.Runs observation executions across pooled
+// workers, merges their dependency relations in run order, and runs one
+// sharded iGoodlock pass over the merged relation. The merged result is
+// identical at every opts.Parallelism and opts.ClosureParallelism; with
+// opts.Runs <= 1 it matches RunPhase1. On ErrNoCompletedRun (no run
+// completed) the returned campaign still carries witnessed deadlocks
+// and per-run stats.
+func RunPhase1Campaign(prog func(*sched.Ctx), cfg igoodlock.Config, opts analysis.CampaignOptions) (*Phase1Campaign, error) {
+	start := time.Now()
+	co, err := analysis.ObserveMany(prog, cfg, opts)
+	return &Phase1Campaign{CampaignObservation: *co, Elapsed: time.Since(start)}, err
+}
+
 // Phase2Summary aggregates a reproduction campaign: the checker run
 // `Runs` times against one target cycle, with seeds 0..Runs-1. The
 // aggregate totals and derived statistics (Probability, AvgThrashes,

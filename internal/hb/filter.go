@@ -10,7 +10,12 @@ import "dlfuzz/internal/igoodlock"
 // occur in any execution with the same must-sync structure.
 //
 // Cycles whose dependencies carry no clocks (recorder ran without a
-// ClockSource) are conservatively kept as plausible.
+// ClockSource, or the dependency was merged across observation runs) are
+// conservatively kept as plausible. For relations merged from a
+// multi-seed observation campaign, clocks are only compared between
+// dependencies recorded in the same run (Dep.Run): one run's ordering
+// says nothing about another's, so cross-run component pairs are treated
+// as potentially concurrent.
 func FilterCycles(cycles []*igoodlock.Cycle) (plausible, falsePositives []*igoodlock.Cycle) {
 	for _, c := range cycles {
 		if provablyFalse(c) {
@@ -26,12 +31,17 @@ func FilterCycles(cycles []*igoodlock.Cycle) (plausible, falsePositives []*igood
 // is ordered by must-happens-before.
 func provablyFalse(c *igoodlock.Cycle) bool {
 	for i := range c.Components {
-		vi := VC(c.Components[i].Dep.VC)
+		di := c.Components[i].Dep
+		vi := VC(di.VC)
 		if vi == nil {
 			continue
 		}
 		for j := i + 1; j < len(c.Components); j++ {
-			vj := VC(c.Components[j].Dep.VC)
+			dj := c.Components[j].Dep
+			if dj.Run != di.Run {
+				continue // clocks from different runs are incomparable
+			}
+			vj := VC(dj.VC)
 			if vj == nil {
 				continue
 			}

@@ -184,40 +184,13 @@ func Find(deps []*lockset.Dep, cfg Config) []*Cycle {
 		cfg.MaxChains = defaultMaxChains
 	}
 
-	// Index the relation by held lock: byHeld[l] lists dependencies
-	// whose L contains l, the extension candidates for a chain whose
-	// last acquired lock is l. Building the index also builds each
-	// dep's sorted-id held view, so the join loop below never sorts.
-	byHeld := make(map[uint64]*heldBucket)
-	for _, d := range deps {
-		d.HeldMask()
-		for _, h := range d.Held {
-			b := byHeld[h.ID]
-			if b == nil {
-				b = &heldBucket{maxThread: event.NoThread}
-				byHeld[h.ID] = b
-			}
-			b.deps = append(b.deps, d)
-			if d.Thread > b.maxThread {
-				b.maxThread = d.Thread
-			}
-		}
-	}
+	byHeld := buildHeldIndex(deps)
 
 	var cycles []*Cycle
 	seen := make(map[string]bool)
 	explored := 0
 
-	// D_1: single-dependency chains.
-	cur := make([]chain, 0, len(deps))
-	for _, d := range deps {
-		cur = append(cur, chain{
-			deps:       []*lockset.Dep{d},
-			threadMask: tidBit(d.Thread),
-			lockMask:   idBit(d.Lock.ID),
-			heldMask:   d.HeldMask(),
-		})
-	}
+	cur := initialChains(deps)
 
 	for i := 1; len(cur) > 0; i++ {
 		if cfg.MaxLen > 0 && i >= cfg.MaxLen {
@@ -258,6 +231,46 @@ func Find(deps []*lockset.Dep, cfg Config) []*Cycle {
 		cur = next
 	}
 	return cycles
+}
+
+// buildHeldIndex indexes the relation by held lock: byHeld[l] lists
+// dependencies whose L contains l, the extension candidates for a chain
+// whose last acquired lock is l. Building the index also builds each
+// dep's sorted-id held view, so the join loops never sort — and never
+// mutate dependency state, which is what lets FindParallel share deps
+// across workers.
+func buildHeldIndex(deps []*lockset.Dep) map[uint64]*heldBucket {
+	byHeld := make(map[uint64]*heldBucket)
+	for _, d := range deps {
+		d.HeldMask()
+		for _, h := range d.Held {
+			b := byHeld[h.ID]
+			if b == nil {
+				b = &heldBucket{maxThread: event.NoThread}
+				byHeld[h.ID] = b
+			}
+			b.deps = append(b.deps, d)
+			if d.Thread > b.maxThread {
+				b.maxThread = d.Thread
+			}
+		}
+	}
+	return byHeld
+}
+
+// initialChains builds D_1: one single-dependency chain per dep, in
+// relation order.
+func initialChains(deps []*lockset.Dep) []chain {
+	cur := make([]chain, 0, len(deps))
+	for _, d := range deps {
+		cur = append(cur, chain{
+			deps:       []*lockset.Dep{d},
+			threadMask: tidBit(d.Thread),
+			lockMask:   idBit(d.Lock.ID),
+			heldMask:   d.HeldMask(),
+		})
+	}
+	return cur
 }
 
 // extendable checks Definition 2 plus the duplicate-suppression order

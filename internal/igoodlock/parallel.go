@@ -1,0 +1,176 @@
+package igoodlock
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dlfuzz/internal/lockset"
+)
+
+// FindParallel is Find with the per-round chain-extension work sharded
+// across workers. The cycle reports are byte-identical to Find's at any
+// width — same cycles, same order, same MaxChains truncation point.
+//
+// Algorithm 1's join loop has a natural round structure: every chain of
+// length i is extended before any chain of length i+1 is considered, and
+// chains within a round are independent — they read the shared byHeld
+// index and their own frozen state, never write (buildHeldIndex
+// pre-builds every dep's held view, so the join never mutates deps). So
+// each round partitions the current chain list into contiguous blocks;
+// workers claim blocks from an atomic counter (several blocks per worker,
+// so an expensive stretch of chains does not serialize the round) and
+// record, per block, the extensions and cycle reports its chains produce
+// in exactly the order the serial loop would have produced them.
+//
+// At the round barrier the caller's goroutine merges the blocks in block
+// order — which is chain order, which is the serial iteration order. The
+// serial loop's only cross-chain state, the explored-candidate budget and
+// the cycle dedup set, is applied solely during that merge, on one
+// goroutine, in that same order: each block carries its candidate count
+// and the candidate ordinals of its cycle reports, so the merge replays
+// the exact serial interleaving (bulk-appending whole blocks while the
+// budget allows, switching to candidate-by-candidate replay for the
+// block the budget cuts). A candidate past the budget point is discarded
+// before its report is appended — exactly where the serial loop returns.
+func FindParallel(deps []*lockset.Dep, cfg Config, workers int) []*Cycle {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(deps) < 2 {
+		return Find(deps, cfg)
+	}
+	if cfg.K == 0 {
+		cfg.K = 10
+	}
+	if cfg.MaxChains == 0 {
+		cfg.MaxChains = defaultMaxChains
+	}
+
+	byHeld := buildHeldIndex(deps)
+	cur := initialChains(deps)
+
+	var cycles []*Cycle
+	seen := make(map[string]bool)
+	explored := 0
+	// Several blocks per worker: finer grain balances uneven chains, and
+	// block results (with their reused buffers) stay in block order
+	// regardless of which worker claimed which block.
+	maxBlocks := workers * 4
+	results := make([]blockResult, maxBlocks)
+
+	for i := 1; len(cur) > 0; i++ {
+		if cfg.MaxLen > 0 && i >= cfg.MaxLen {
+			// Chains of length MaxLen were already checked for
+			// cycle-hood when they were built; stop extending.
+			break
+		}
+		blocks := maxBlocks
+		if blocks > len(cur) {
+			blocks = len(cur)
+		}
+		var claim atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers && w < blocks; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					b := int(claim.Add(1)) - 1
+					if b >= blocks {
+						return
+					}
+					lo := b * len(cur) / blocks
+					hi := (b + 1) * len(cur) / blocks
+					extendBlock(cur[lo:hi], byHeld, cfg, &results[b])
+				}
+			}()
+		}
+		wg.Wait()
+
+		// Round barrier: deterministic merge in block (= serial) order.
+		// The extensions were copied out of cur by extended(), so cur's
+		// backing array is recycled as the next round's chain list.
+		next := cur[:0]
+		for b := 0; b < blocks; b++ {
+			r := &results[b]
+			if explored+r.candidates <= cfg.MaxChains {
+				// Whole block fits the budget: bulk merge.
+				explored += r.candidates
+				for _, cyc := range r.cycs {
+					if !seen[cyc.Key()] {
+						seen[cyc.Key()] = true
+						cycles = append(cycles, cyc)
+					}
+				}
+				next = append(next, r.exts...)
+				continue
+			}
+			// The budget cuts inside this block: replay its candidates
+			// one at a time, in the recorded interleaving.
+			k, e := 0, 0
+			for o := 0; o < r.candidates; o++ {
+				explored++
+				if explored > cfg.MaxChains {
+					return cycles
+				}
+				if k < len(r.cycPos) && r.cycPos[k] == o {
+					cyc := r.cycs[k]
+					k++
+					if !seen[cyc.Key()] {
+						seen[cyc.Key()] = true
+						cycles = append(cycles, cyc)
+					}
+					continue
+				}
+				next = append(next, r.exts[e])
+				e++
+			}
+		}
+		cur = next
+	}
+	return cycles
+}
+
+// blockResult is one block's round output: the extended chains and cycle
+// reports its chains produced, in serial candidate order. cycPos holds
+// the candidate ordinal of each report, so the interleaving of
+// extensions and reports can be replayed exactly when the MaxChains
+// budget cuts mid-block; candidates counts both. Buffers are reused
+// across rounds.
+type blockResult struct {
+	exts       []chain
+	cycs       []*Cycle
+	cycPos     []int
+	candidates int
+}
+
+// extendBlock runs the serial inner loop over one block of chains,
+// recording each extendable candidate's outcome in order instead of
+// touching the global explored/seen/next state.
+func extendBlock(block []chain, byHeld map[uint64]*heldBucket, cfg Config, out *blockResult) {
+	out.exts = out.exts[:0]
+	out.cycs = out.cycs[:0]
+	out.cycPos = out.cycPos[:0]
+	out.candidates = 0
+	for ci := range block {
+		ch := &block[ci]
+		first := ch.deps[0]
+		bucket := byHeld[ch.deps[len(ch.deps)-1].Lock.ID]
+		if bucket == nil || bucket.maxThread <= first.Thread {
+			continue
+		}
+		for _, d := range bucket.deps {
+			if !extendable(ch, d) {
+				continue
+			}
+			if closes(ch, d) {
+				out.cycPos = append(out.cycPos, out.candidates)
+				out.cycs = append(out.cycs, report(ch, d, cfg))
+			} else {
+				out.exts = append(out.exts, ch.extended(d))
+			}
+			out.candidates++
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package igoodlock
+
+import (
+	"fmt"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/lockset"
+	"dlfuzz/internal/object"
+)
+
+// WideRelation builds a synthetic wide dependency relation for closure
+// benchmarking: `threads` threads arranged on a ring of `threads` ring
+// locks, where thread t records one dependency per offset d in 1..span —
+// acquiring ring lock (t+d) mod threads while holding its own ring lock
+// t plus `extraHeld` thread-private locks.
+//
+// The shape is chosen to stress exactly what dominates iGoodlock on
+// dependency-heavy programs: D_1 has threads×span chains, the join
+// rounds fan out by ~span candidates per chain, and cycles of length k
+// exist whenever k offsets in 1..span sum to 0 mod threads (with
+// span ≥ threads/2 both k=2 and k=3 cycles are present). The private
+// locks give every dependency a multi-element held set whose ids wrap
+// past 64, so the 64-bit mask prefilters collide and the exact
+// Definition 2 re-checks actually run, as they do on real relations.
+//
+// Ids are deterministic, so the relation — and every closure report
+// computed from it — is reproducible across processes.
+func WideRelation(threads, span, extraHeld int) []*lockset.Dep {
+	ring := make([]*object.Obj, threads)
+	for i := range ring {
+		ring[i] = &object.Obj{
+			ID:   uint64(i + 1),
+			Type: "Object",
+			Site: event.Loc(fmt.Sprintf("syn:ring%d", i)),
+		}
+	}
+	nextID := uint64(threads + 1)
+	threadObjs := make([]*object.Obj, threads)
+	for i := range threadObjs {
+		threadObjs[i] = &object.Obj{
+			ID:   nextID,
+			Type: "SynThread",
+			Site: event.Loc(fmt.Sprintf("syn:thread%d", i)),
+		}
+		nextID++
+	}
+
+	deps := make([]*lockset.Dep, 0, threads*span)
+	for t := 0; t < threads; t++ {
+		held := make([]*object.Obj, 0, 1+extraHeld)
+		held = append(held, ring[t])
+		for p := 0; p < extraHeld; p++ {
+			held = append(held, &object.Obj{
+				ID:   nextID,
+				Type: "Object",
+				Site: event.Loc(fmt.Sprintf("syn:priv%d.%d", t, p)),
+			})
+			nextID++
+		}
+		for d := 1; d <= span; d++ {
+			want := ring[(t+d)%threads]
+			deps = append(deps, &lockset.Dep{
+				Thread:    event.TID(t),
+				ThreadObj: threadObjs[t],
+				Held:      held,
+				Lock:      want,
+				Context: event.Context{
+					event.Loc(fmt.Sprintf("syn:run%d", t)),
+					event.Loc(fmt.Sprintf("syn:acq%d.%d", t, d)),
+				},
+			})
+		}
+	}
+	return deps
+}
+
+// WideConfig returns the closure configuration the synthetic benchmarks
+// use: k-object abstraction (ring-lock sites are distinct, so reports
+// are too), cycle length bounded to maxLen, and a chain budget high
+// enough that the synthetic join never truncates — the benchmark must
+// measure the full round's work at every worker count.
+func WideConfig(maxLen int) Config {
+	return Config{
+		Abstraction: object.KObject,
+		K:           10,
+		MaxLen:      maxLen,
+		MaxChains:   50_000_000,
+	}
+}

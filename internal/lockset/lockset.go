@@ -22,6 +22,11 @@ import (
 type Dep struct {
 	// Thread is the acquiring thread's unique id in the observed run.
 	Thread event.TID
+	// Run tags the observation execution the dependency was recorded in,
+	// for relations merged across a multi-seed campaign (see Merger).
+	// Vector clocks are only comparable between dependencies of the same
+	// run. Single-run recorders leave it 0.
+	Run int
 	// ThreadObj is the acquiring thread's object (for abstraction).
 	ThreadObj *object.Obj
 	// Held is L: the locks held at the acquire, outermost first.

@@ -1,0 +1,106 @@
+package lockset
+
+import (
+	"strconv"
+	"strings"
+
+	"dlfuzz/internal/object"
+)
+
+// Merger folds the dependency relations of many observation runs into
+// one compacted relation for iGoodlock. Relations must be added in run
+// order (the campaign engine's seed-order merge guarantees that), so the
+// merged relation — and therefore everything computed from it — is
+// deterministic at any campaign parallelism.
+//
+// Dedup is by canonical key: two dependencies collapse only when they
+// agree on everything the closure can observe — acquiring thread id,
+// lock id, the held sequence (by id), the acquire context, and the
+// thread/lock object abstractions under the configured scheme. Dropping
+// the later duplicate therefore changes neither the chains iGoodlock
+// explores nor the bytes of any report built from them.
+//
+// Vector clocks are the one field deliberately excluded from the key:
+// clocks are only meaningful within one run, so when a dependency is
+// absorbed by a twin from an *earlier* run the representative's clock is
+// cleared. The happens-before filter then treats cycles through merged
+// dependencies conservatively (kept plausible) instead of applying one
+// run's ordering to another run's observation — which is what makes the
+// merged candidate set a superset of every constituent run's.
+type Merger struct {
+	abs  object.Abstraction
+	k    int
+	seen map[string]*Dep
+	deps []*Dep
+	raw  int
+}
+
+// NewMerger returns an empty merger keyed under the given abstraction
+// scheme and depth (the iGoodlock config the merged relation will be
+// analyzed with).
+func NewMerger(abs object.Abstraction, k int) *Merger {
+	return &Merger{abs: abs, k: k, seen: make(map[string]*Dep)}
+}
+
+// Add folds one run's relation in. run tags the observation execution
+// (ascending across calls); deps is the run's recorder output in
+// observation order. Dependencies not seen in any earlier run are
+// appended to the merged relation with their Run field set; duplicates
+// of an earlier run's dependency are dropped, clearing the
+// representative's vector clock (clocks do not transfer across runs).
+func (m *Merger) Add(run int, deps []*Dep) {
+	m.raw += len(deps)
+	for _, d := range deps {
+		d.Run = run
+		key := m.canonicalKey(d)
+		if ex, ok := m.seen[key]; ok {
+			if ex.Run != d.Run {
+				ex.VC = nil
+			}
+			continue
+		}
+		m.seen[key] = d
+		m.deps = append(m.deps, d)
+	}
+}
+
+// Deps returns the merged relation in first-observation order.
+func (m *Merger) Deps() []*Dep { return m.deps }
+
+// Raw returns the total number of dependencies added, before dedup.
+func (m *Merger) Raw() int { return m.raw }
+
+// Merged returns the size of the deduplicated relation.
+func (m *Merger) Merged() int { return len(m.deps) }
+
+// canonicalKey renders every closure-observable aspect of d:
+// thread id and abstraction, lock id and abstraction, the held sequence
+// as recorded, and the acquire context. Within one run it is strictly
+// finer than the recorder's own (thread, lock, held, context) dedup key,
+// so merging a single run is the identity.
+func (m *Merger) canonicalKey(d *Dep) string {
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString(strconv.FormatInt(int64(d.Thread), 10))
+	b.WriteByte('/')
+	b.WriteString(string(m.abs.Of(d.ThreadObj, m.k)))
+	b.WriteByte('/')
+	b.WriteString(strconv.FormatUint(d.Lock.ID, 10))
+	b.WriteByte('/')
+	b.WriteString(string(m.abs.Of(d.Lock, m.k)))
+	b.WriteByte('/')
+	for i, h := range d.Held {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatUint(h.ID, 10))
+	}
+	b.WriteByte('/')
+	for i, l := range d.Context {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(string(l))
+	}
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package lockset
+
+import (
+	"testing"
+
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/object"
+)
+
+// mkDep builds a test dependency over the shared lock table.
+func mkDep(t event.TID, held []*object.Obj, lock *object.Obj, ctx ...event.Loc) *Dep {
+	return &Dep{
+		Thread:    t,
+		ThreadObj: &object.Obj{ID: 100 + uint64(t), Type: "T", Site: "alloc:t"},
+		Held:      held,
+		Lock:      lock,
+		Context:   event.Context(ctx),
+	}
+}
+
+func lockObj(id uint64, site event.Loc) *object.Obj {
+	return &object.Obj{ID: id, Type: "Object", Site: site}
+}
+
+// TestMergerDedupsAcrossRuns: the same logical dependency observed in
+// two runs collapses to the first run's instance, and the representative
+// loses its vector clock (clocks do not transfer across runs).
+func TestMergerDedupsAcrossRuns(t *testing.T) {
+	l1 := lockObj(1, "s:1")
+	l2 := lockObj(2, "s:2")
+	a := mkDep(1, []*object.Obj{l1}, l2, "f:1", "f:2")
+	a.VC = []uint64{1, 2}
+	b := mkDep(1, []*object.Obj{l1}, l2, "f:1", "f:2")
+	b.VC = []uint64{9, 9}
+
+	m := NewMerger(object.KObject, 10)
+	m.Add(0, []*Dep{a})
+	m.Add(1, []*Dep{b})
+
+	if m.Raw() != 2 || m.Merged() != 1 {
+		t.Fatalf("raw=%d merged=%d, want 2/1", m.Raw(), m.Merged())
+	}
+	if m.Deps()[0] != a {
+		t.Errorf("representative is not the first run's dependency")
+	}
+	if a.VC != nil {
+		t.Errorf("cross-run absorb kept the representative's clock %v", a.VC)
+	}
+	if a.Run != 0 || b.Run != 1 {
+		t.Errorf("run tags = %d/%d, want 0/1", a.Run, b.Run)
+	}
+}
+
+// TestMergerSingleRunIsIdentity: merging one run keeps every dependency,
+// in order, with clocks intact — the merged relation is byte-for-byte
+// the recorder's.
+func TestMergerSingleRunIsIdentity(t *testing.T) {
+	l1 := lockObj(1, "s:1")
+	l2 := lockObj(2, "s:2")
+	l3 := lockObj(3, "s:3")
+	deps := []*Dep{
+		mkDep(1, []*object.Obj{l1}, l2, "f:1"),
+		mkDep(2, []*object.Obj{l2}, l1, "f:2"),
+		mkDep(2, []*object.Obj{l2, l1}, l3, "f:3"),
+	}
+	deps[0].VC = []uint64{1}
+	m := NewMerger(object.ExecIndex, 10)
+	m.Add(0, deps)
+	if m.Merged() != len(deps) || m.Raw() != len(deps) {
+		t.Fatalf("merged=%d raw=%d, want %d/%d", m.Merged(), m.Raw(), len(deps), len(deps))
+	}
+	for i, d := range m.Deps() {
+		if d != deps[i] {
+			t.Fatalf("dep %d reordered or replaced", i)
+		}
+	}
+	if deps[0].VC == nil {
+		t.Errorf("single-run merge cleared a clock")
+	}
+}
+
+// TestMergerKeySeparates: dependencies that differ in any
+// closure-observable aspect — thread, lock, held sequence, context, or
+// object abstraction — do not collapse.
+func TestMergerKeySeparates(t *testing.T) {
+	l1 := lockObj(1, "s:1")
+	l2 := lockObj(2, "s:2")
+	l3 := lockObj(3, "s:3")
+	base := func() *Dep { return mkDep(1, []*object.Obj{l1}, l2, "f:1") }
+
+	cases := map[string]*Dep{
+		"thread":  mkDep(2, []*object.Obj{l1}, l2, "f:1"),
+		"lock":    mkDep(1, []*object.Obj{l1}, l3, "f:1"),
+		"held":    mkDep(1, []*object.Obj{l3}, l2, "f:1"),
+		"context": mkDep(1, []*object.Obj{l1}, l2, "f:9"),
+		// Same ids, different allocation site: distinct under any
+		// non-trivial abstraction, so the key must keep them apart.
+		"abstraction": mkDep(1, []*object.Obj{l1}, lockObj(2, "s:other"), "f:1"),
+	}
+	for name, other := range cases {
+		m := NewMerger(object.KObject, 10)
+		m.Add(0, []*Dep{base()})
+		m.Add(1, []*Dep{other})
+		if m.Merged() != 2 {
+			t.Errorf("%s: deps with different %s collapsed (merged=%d)", name, name, m.Merged())
+		}
+	}
+}

@@ -16,10 +16,15 @@
 #                          reporting) cannot rot between perf runs
 #   7. pipeline bench    — machine-readable Check cost over the Figure-2
 #                          workloads (BENCH_pipeline.json), tracking the
-#                          multi-cycle campaign's execution counts
-#   8. replay smoke      — fuzz philosophers with -witness-dir, then
+#                          multi-cycle campaign's execution counts; the
+#                          fresh stepsPerSec column is compared against
+#                          the committed baseline and WARNS (never
+#                          fails) on a large drop
+#   8. phase1 bench      — multi-seed observation campaign stats and
+#                          sharded-closure wall times (BENCH_phase1.json)
+#   9. replay smoke      — fuzz philosophers with -witness-dir, then
 #                          `dlfuzz replay` every emitted witness
-#   9. docs links        — every relative link in README.md and
+#  10. docs links        — every relative link in README.md and
 #                          docs/*.md resolves to a file in the repo
 #
 # FUZZTIME overrides the smoke window (default 10s); BENCHRUNS the
@@ -50,7 +55,31 @@ echo "== bench smoke: every benchmark once =="
 go test -run='^$' -bench=. -benchtime=1x .
 
 echo "== pipeline bench: Check cost over Figure-2 workloads =="
+baseline=""
+if [ -f BENCH_pipeline.json ]; then
+	baseline="$(mktemp)"
+	cp BENCH_pipeline.json "$baseline"
+fi
 go run ./cmd/dlbench -pipeline-json BENCH_pipeline.json -runs "${BENCHRUNS}"
+if [ -n "$baseline" ]; then
+	# Compare Phase II throughput per workload against the committed
+	# baseline. Wall-clock on shared runners is far too noisy to gate on,
+	# so a drop below a third of the baseline only warns.
+	steps_per_sec() {
+		awk '/"workload"/ { gsub(/[",]/, "", $2); w = $2 }
+		     /"stepsPerSec"/ { gsub(/,/, "", $2); print w, $2 }' "$1" | sort
+	}
+	join <(steps_per_sec "$baseline") <(steps_per_sec BENCH_pipeline.json) | awk '
+		$2 > 0 && $3 < $2 / 3 {
+			printf "WARN: %s stepsPerSec %s -> %s (fell below 1/3 of baseline)\n", $1, $2, $3
+			warned = 1
+		}
+		END { if (!warned) print "stepsPerSec within tolerance of committed baseline" }'
+	rm -f "$baseline"
+fi
+
+echo "== phase1 bench: observation campaign + sharded closure =="
+go run ./cmd/dlbench -phase1-json BENCH_phase1.json
 
 echo "== replay smoke: witness round trip on philosophers =="
 witdir="$(mktemp -d)"
