@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build test race bench bench-smoke profile fuzz-smoke vet replay-smoke
+.PHONY: ci build test race bench bench-smoke profile fuzz-smoke vet replay-smoke corpus-smoke corpus
 
 ci:
 	./scripts/ci.sh
@@ -37,7 +37,7 @@ bench:
 	$(GO) test -run='^$$' -bench=BenchmarkConfirmCampaign -benchtime=20x .
 	$(GO) test -run='^$$' -bench=BenchmarkClosure -benchtime=3x .
 	$(GO) run ./cmd/dlbench -pipeline-json BENCH_pipeline.json -runs 100
-	$(GO) run ./cmd/dlbench -phase1-json BENCH_phase1.json
+	$(GO) run ./cmd/dlbench -phase1-json BENCH_phase1.json -gen-seeds 8
 
 # One pass over every benchmark — including the Phase I closure smoke
 # (BenchmarkClosure at every worker count) — so benchmark-only code
@@ -54,3 +54,20 @@ profile:
 
 fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzParser -fuzztime=10s ./internal/lang/
+
+# Harvest a small generator corpus into a temp dir and re-validate it,
+# then re-validate the committed corpus (parse, cycle-key survival, and
+# the serial-vs-parallel width differential). The CI corpus smoke,
+# runnable on its own.
+corpus-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) run ./cmd/dlgen harvest -dir "$$dir" -seeds 25 -max-programs 6 \
+		-confirm-runs 3 && \
+	$(GO) run ./cmd/dlgen status -dir "$$dir" -check && \
+	$(GO) run ./cmd/dlgen status -dir testdata/corpus -check
+
+# Rebuild the committed scenario corpus from scratch (deterministic:
+# re-running with an unchanged generator reproduces every byte).
+corpus:
+	$(GO) run ./cmd/dlgen harvest -dir testdata/corpus -seeds 200 \
+		-confirm-runs 5 -max-programs 24 -v

@@ -29,6 +29,7 @@ import (
 	"dlfuzz/internal/campaign"
 	"dlfuzz/internal/harness"
 	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/lang/gen"
 	"dlfuzz/internal/lockset"
 	"dlfuzz/internal/obs"
 	"dlfuzz/internal/report"
@@ -46,6 +47,7 @@ func main() {
 		runs         = flag.Int("runs", 100, "Phase II execution budget per workload (shared across its cycles)")
 		p1runs       = flag.Int("p1-runs", 1, "Phase I observation runs per workload (-phase1-json defaults to 8)")
 		p1par        = flag.Int("p1-parallel", 0, "Phase I campaign and closure workers (0 = all cores); results are identical")
+		genSeeds     = flag.Int("gen-seeds", 0, "with -phase1-json: also bench Phase I over N generated programs (medium preset, seeds 1..N)")
 		maxCycles    = flag.Int("max-cycles", 0, "cap cycles per benchmark (0 = all)")
 		parallel     = flag.Int("parallel", 0, "campaign workers (0 = all cores, 1 = serial); results are identical")
 		stopAfter    = flag.Int("stop-after", 0, "stop each campaign after N targeted reproductions (0 = run all seeds)")
@@ -80,14 +82,14 @@ func main() {
 	}
 
 	if err := run(*table, *fig, *imprecision, *pipelineJSON, *phase1JSON, *workload, *metricsOut,
-		*runs, *maxCycles, *parallel, *stopAfter, *p1runs, *p1par); err != nil {
+		*runs, *maxCycles, *parallel, *stopAfter, *p1runs, *p1par, *genSeeds); err != nil {
 		fail(err)
 	}
 }
 
 // run is main minus flag parsing and profiling, so the profile teardown
 // deferred in main still executes on the error paths.
-func run(table, fig string, imprecision bool, pipelineJSON, phase1JSON, workload, metricsOut string, runs, maxCycles, parallel, stopAfter, p1runs, p1par int) error {
+func run(table, fig string, imprecision bool, pipelineJSON, phase1JSON, workload, metricsOut string, runs, maxCycles, parallel, stopAfter, p1runs, p1par, genSeeds int) error {
 	copts := campaign.Options{Parallelism: parallel, StopAfter: stopAfter}
 
 	if pipelineJSON != "" {
@@ -97,7 +99,7 @@ func run(table, fig string, imprecision bool, pipelineJSON, phase1JSON, workload
 		return fmt.Errorf("-metrics-out requires -pipeline-json")
 	}
 	if phase1JSON != "" {
-		return phase1Bench(phase1JSON, p1runs, p1par)
+		return phase1Bench(phase1JSON, p1runs, p1par, genSeeds)
 	}
 
 	all := table == "" && fig == "" && !imprecision
@@ -316,9 +318,11 @@ type closureTiming struct {
 }
 
 // phase1Bench writes BENCH_phase1.json: multi-seed campaign stats for
-// the saturation workloads and wall-time measurements of the sharded
-// closure on the synthetic wide relation.
-func phase1Bench(path string, p1runs, p1par int) error {
+// the saturation workloads (plus genSeeds generated programs, whose
+// newCyclesByRun curves keep discovering where the fixed models flatten
+// after run 1) and wall-time measurements of the sharded closure on the
+// synthetic wide relation.
+func phase1Bench(path string, p1runs, p1par, genSeeds int) error {
 	if p1runs <= 1 {
 		p1runs = 8
 	}
@@ -345,6 +349,41 @@ func phase1Bench(path string, p1runs, p1par int) error {
 		wall := time.Since(start)
 		if err != nil {
 			return fmt.Errorf("phase1 bench %s: %w", name, err)
+		}
+		out.Workloads = append(out.Workloads, phase1Row{
+			Workload:       name,
+			Runs:           rep.ObservationRuns,
+			Completed:      rep.CompletedRuns,
+			RawDeps:        rep.RawDeps,
+			MergedDeps:     rep.Deps,
+			Cycles:         len(rep.Cycles),
+			FalsePositives: len(rep.FalsePositives),
+			NewCyclesByRun: rep.NewCyclesByRun,
+			Phase1Ms:       wall.Milliseconds(),
+		})
+	}
+
+	cfg := gen.Medium()
+	for seed := int64(1); seed <= int64(genSeeds); seed++ {
+		name := fmt.Sprintf("gen/%s-%03d", cfg.Preset, seed)
+		src := gen.Generate(seed, cfg)
+		p, err := dlfuzz.ParseCLF(gen.FileName(seed), src)
+		if err != nil {
+			return fmt.Errorf("phase1 bench %s: %w", name, err)
+		}
+		opts := dlfuzz.DefaultFindOptions()
+		opts.Seed = 1
+		opts.Runs = p1runs
+		opts.Parallelism = p1par
+		opts.MaxSteps = 200000
+		start := time.Now()
+		rep, err := dlfuzz.Find(p.Body(), opts)
+		wall := time.Since(start)
+		if err != nil {
+			// A generated program can deadlock every observation attempt;
+			// the row records the empty campaign rather than failing the
+			// whole benchmark.
+			fmt.Printf("phase1 bench %s: %v\n", name, err)
 		}
 		out.Workloads = append(out.Workloads, phase1Row{
 			Workload:       name,

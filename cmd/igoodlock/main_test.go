@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRunPhilosophersGolden pins the Phase I report format on the dining
+// philosophers, mirroring the dlfuzz golden test: a multi-run campaign
+// at an explicit parallelism (byte-identical at any width) compared
+// byte-for-byte against testdata/philosophers.golden. Regenerate with
+// `go test ./cmd/igoodlock -update` after an intentional format change.
+func TestRunPhilosophersGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-runs", "4",
+		"-parallel", "2",
+		"-deps",
+		filepath.Join("..", "..", "testdata", "philosophers.clf"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", stderr.String())
+	}
+	golden := filepath.Join("testdata", "philosophers.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output diverged from golden file:\n--- got ---\n%s\n--- want ---\n%s", stdout.Bytes(), want)
+	}
+}
+
+// TestRunUsageErrors covers the non-analysis exit paths.
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-workload", "no-such-workload"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown workload: exit %d, want 2", code)
+	}
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no arguments: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.clf")}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,176 @@
+package corpus_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dlfuzz/internal/corpus"
+	"dlfuzz/internal/lang/gen"
+)
+
+func TestShapeKey(t *testing.T) {
+	in := "[gen.clf:12,1]/[gen.clf:30,2]/gen.clf:40|gen.clf:41~[gen.clf:13,1]/[gen.clf:31,1]/gen.clf:50"
+	want := "[gen.clf:#,1]/[gen.clf:#,2]/gen.clf:#|gen.clf:#~[gen.clf:#,1]/[gen.clf:#,1]/gen.clf:#"
+	if got := corpus.ShapeKey(in); got != want {
+		t.Fatalf("ShapeKey:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestMinimizePreservesKeys is the minimization invariant: every kept
+// canonical cycle key of the original program survives minimization, and
+// minimization actually removes something.
+func TestMinimizePreservesKeys(t *testing.T) {
+	spec := corpus.FindSpec{}.WithDefaults()
+	src := gen.Generate(5, gen.Medium())
+	co, err := corpus.Observe(src, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(co.Cycles) == 0 {
+		t.Fatal("seed 5 no longer produces cycles; pick another seed")
+	}
+	keep := make([]string, 0, len(co.Cycles))
+	for _, c := range co.Cycles {
+		keep = append(keep, c.Key())
+	}
+	min, removed := corpus.Minimize(src, keep, spec, 0)
+	if removed == 0 {
+		t.Error("minimization removed nothing")
+	}
+	mo, err := corpus.Observe(min, spec)
+	if err != nil {
+		t.Fatalf("minimized program: %v", err)
+	}
+	have := map[string]bool{}
+	for _, c := range mo.Cycles {
+		have[c.Key()] = true
+	}
+	for _, k := range keep {
+		if !have[k] {
+			t.Errorf("minimization lost cycle key %s", k)
+		}
+	}
+}
+
+// TestHarvestValidateIdempotent drives the full pipeline into a temp
+// dir: harvest keeps programs, validation (including the width-1/2/4
+// differential) passes, Phase II confirms at least one key, and a second
+// harvest with identical options reproduces every byte.
+func TestHarvestValidateIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	opts := corpus.HarvestOptions{
+		Dir: dir, Seeds: 25, ConfirmRuns: 5, MaxPrograms: 5,
+	}
+	m, err := corpus.Harvest(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) < 3 {
+		t.Fatalf("harvest kept only %d programs over 25 seeds", len(m.Entries))
+	}
+	if m.ConfirmedCount() == 0 {
+		t.Error("Phase II confirmed no harvested cycle")
+	}
+	if _, err := corpus.Validate(dir); err != nil {
+		t.Fatalf("fresh harvest fails validation: %v", err)
+	}
+
+	before := snapshot(t, dir)
+	if _, err := corpus.Harvest(opts); err != nil {
+		t.Fatal(err)
+	}
+	after := snapshot(t, dir)
+	if len(before) != len(after) {
+		t.Fatalf("re-harvest changed the file set: %d -> %d files", len(before), len(after))
+	}
+	for name, b := range before {
+		if after[name] != b {
+			t.Errorf("re-harvest changed %s", name)
+		}
+	}
+}
+
+func snapshot(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, n := range names {
+		data, err := os.ReadFile(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(n)] = string(data)
+	}
+	return out
+}
+
+// TestHarvestRemovesStale pins the cleanup that keeps re-harvests with
+// smaller options from leaving orphan programs behind.
+func TestHarvestRemovesStale(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "gen-999999.clf")
+	if err := os.WriteFile(stale, []byte("fn main() { }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := corpus.Harvest(corpus.HarvestOptions{Dir: dir, Seeds: 5, MaxPrograms: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale corpus file survived harvest (stat err: %v)", err)
+	}
+}
+
+// TestCommittedCorpusValidates is the CI gate on testdata/corpus: every
+// committed program still parses, still reports its manifest keys, and
+// serial vs parallel Phase I produce byte-identical reports at widths
+// 1, 2, and 4 on the whole corpus.
+func TestCommittedCorpusValidates(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "corpus")
+	m, err := corpus.Validate(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) < 10 {
+		t.Errorf("committed corpus has %d programs, want >= 10", len(m.Entries))
+	}
+	if keys := m.Keys(); len(keys) < 20 {
+		t.Errorf("committed corpus has %d cycle keys, want >= 20", len(keys))
+	}
+	if m.ConfirmedCount() == 0 {
+		t.Error("committed corpus has no Phase II confirmed cycle")
+	}
+}
+
+// TestCampaignKeyDiversity is the acceptance bar on the generator+corpus
+// pipeline: a 200-seed campaign (60 in -short) yields at least 20
+// distinct canonical cycle keys and at least 10 distinct cycle shapes.
+func TestCampaignKeyDiversity(t *testing.T) {
+	seeds := 200
+	if testing.Short() {
+		seeds = 60
+	}
+	spec := corpus.FindSpec{}.WithDefaults()
+	cfg := gen.Medium()
+	exact := map[string]bool{}
+	shapes := map[string]bool{}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		co, err := corpus.Observe(gen.Generate(seed, cfg), spec)
+		if err != nil {
+			continue // heavily deadlocking seed: no completed run
+		}
+		for _, c := range co.Cycles {
+			exact[c.Key()] = true
+			shapes[corpus.ShapeKey(c.Key())] = true
+		}
+	}
+	if len(exact) < 20 {
+		t.Errorf("campaign over %d seeds found %d distinct cycle keys, want >= 20", seeds, len(exact))
+	}
+	if len(shapes) < 10 {
+		t.Errorf("campaign over %d seeds found %d distinct cycle shapes, want >= 10", seeds, len(shapes))
+	}
+}

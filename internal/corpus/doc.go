@@ -1,0 +1,31 @@
+// Package corpus harvests a curated scenario corpus from the seeded CLF
+// program generator (internal/lang/gen).
+//
+// Harvest runs generated programs through the existing Phase I machinery
+// (analysis.ObserveMany), keeps each program that contributes a cycle
+// shape not seen before, minimizes it by iterative line deletion while
+// re-checking that its canonical cycle keys survive, optionally confirms
+// the kept cycles with a Phase II campaign, and persists the minimized
+// programs plus a manifest under a corpus directory (testdata/corpus in
+// this repo).
+//
+// Two invariants shape the design:
+//
+//   - Canonical cycle keys embed statement labels ("file:line"), so every
+//     analysis parse uses the fixed neutral name AnalysisName and the
+//     minimizer deletes lines by *blanking* them — leaving holes — rather
+//     than renumbering. A minimized program therefore reports the exact
+//     same canonical keys as the original (the minimization invariant:
+//     cycle key preserved, not trace-identical).
+//
+//   - Exact keys also embed line numbers, which makes them near-unique
+//     across seeds and useless for cross-program dedup. Dedup instead
+//     uses ShapeKey, the canonical key with line numbers masked, which
+//     collapses programs whose cycles differ only in statement placement
+//     while the manifest records the exact keys for re-validation.
+//
+// Validate re-checks a committed corpus end to end: every program still
+// parses, every manifest key is still reported by a fresh observation
+// under the manifest's find spec, and serial vs parallel Phase I produce
+// byte-identical campaign reports at widths 1, 2, and 4.
+package corpus

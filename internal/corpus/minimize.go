@@ -1,0 +1,217 @@
+package corpus
+
+import (
+	"regexp"
+	"strings"
+)
+
+// The minimizer shrinks a generated program while preserving its kept
+// canonical cycle keys. Keys embed "file:line" statement labels, so
+// deletion is *blanking*: a removed line becomes empty, every surviving
+// statement keeps its line number, and the minimized program reports the
+// exact same keys as the original. It relies on the generator's layout
+// contract: one statement per line, block headers end with "{", closers
+// are "}" alone on a line, no else clauses.
+//
+// Candidate deletions run coarse to fine — spawn/join thread pairs,
+// whole functions, whole blocks, block unwraps (header+closer only,
+// body kept), then single statements — and a candidate is accepted only
+// if the program still parses, resolves, and a fresh Phase I observation
+// under the corpus find spec still reports every kept key. Sweeps repeat
+// until a full pass accepts nothing or the check budget runs out.
+//
+// Two line classes are never offered for deletion: main's init region
+// (registry and lock setup; only spawn/join pairs are deletable in
+// main), which keeps minimized programs runtime-error free, and while
+// loop increments ("iN = iN + 1;"), which keeps them terminating under
+// every schedule.
+
+var (
+	spawnRe = regexp.MustCompile(`^\s*var (t\d+) = spawn `)
+	incRe   = regexp.MustCompile(`^\s*i\d+ = i\d+ \+ 1;$`)
+	mainRe  = regexp.MustCompile(`^fn main\(\)`)
+	fnRe    = regexp.MustCompile(`^fn `)
+)
+
+// span is a brace-matched block: lines[h] is the header (ends with "{"),
+// lines[c] the matching closer.
+type span struct{ h, c int }
+
+// spans brace-matches the current lines. Blanked headers/closers are
+// gone, so the result always reflects the live program.
+func spans(lines []string) []span {
+	var stack []int
+	var out []span
+	for i, l := range lines {
+		t := strings.TrimSpace(l)
+		switch {
+		case strings.HasSuffix(t, "{"):
+			stack = append(stack, i)
+		case t == "}":
+			if len(stack) > 0 {
+				out = append(out, span{stack[len(stack)-1], i})
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return out
+}
+
+// mainSpan locates fn main's span, or (-1,-1).
+func mainSpan(lines []string) span {
+	for _, s := range spans(lines) {
+		if mainRe.MatchString(lines[s.h]) {
+			return s
+		}
+	}
+	return span{-1, -1}
+}
+
+// candidates enumerates deletion candidates on the current lines, coarse
+// to fine: each candidate is the set of line indexes to blank.
+func candidates(lines []string) [][]int {
+	var out [][]int
+	ms := mainSpan(lines)
+
+	// Spawn/join thread pairs in main.
+	if ms.h >= 0 {
+		joins := map[string]int{}
+		for i := ms.h + 1; i < ms.c; i++ {
+			t := strings.TrimSpace(lines[i])
+			if strings.HasPrefix(t, "join t") && strings.HasSuffix(t, ";") {
+				joins[strings.TrimSuffix(strings.TrimPrefix(t, "join "), ";")] = i
+			}
+		}
+		for i := ms.h + 1; i < ms.c; i++ {
+			if m := spawnRe.FindStringSubmatch(lines[i]); m != nil {
+				if j, ok := joins[m[1]]; ok {
+					out = append(out, []int{i, j})
+				}
+			}
+		}
+	}
+
+	// Whole functions (never main), then inner blocks, big spans first.
+	var fns, blocks []span
+	for _, s := range spans(lines) {
+		switch {
+		case s == ms:
+		case fnRe.MatchString(lines[s.h]):
+			fns = append(fns, s)
+		default:
+			blocks = append(blocks, s)
+		}
+	}
+	bySize := func(ss []span) {
+		for i := 1; i < len(ss); i++ {
+			for j := i; j > 0 && ss[j].c-ss[j].h > ss[j-1].c-ss[j-1].h; j-- {
+				ss[j], ss[j-1] = ss[j-1], ss[j]
+			}
+		}
+	}
+	bySize(fns)
+	bySize(blocks)
+	for _, s := range fns {
+		out = append(out, spanLines(s))
+	}
+	for _, s := range blocks {
+		out = append(out, spanLines(s))
+	}
+	// Unwraps: keep the body, drop the header and closer.
+	for _, s := range blocks {
+		out = append(out, []int{s.h, s.c})
+	}
+
+	// Single statements outside main, minus the protected classes.
+	for i, l := range lines {
+		t := strings.TrimSpace(l)
+		if t == "" || t == "}" || strings.HasSuffix(t, "{") ||
+			strings.HasPrefix(t, "//") || incRe.MatchString(l) {
+			continue
+		}
+		if ms.h >= 0 && i > ms.h && i < ms.c {
+			continue
+		}
+		out = append(out, []int{i})
+	}
+	return out
+}
+
+func spanLines(s span) []int {
+	out := make([]int, 0, s.c-s.h+1)
+	for i := s.h; i <= s.c; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Minimize blanks as many lines of src as it can while every key in keep
+// survives a fresh observation under spec. budget caps the number of
+// observation checks (<=0 means the default 400). Returns the minimized
+// source and the number of lines blanked.
+func Minimize(src string, keep []string, spec FindSpec, budget int) (string, int) {
+	if budget <= 0 {
+		budget = 400
+	}
+	spec = spec.WithDefaults()
+	keepSet := make(map[string]bool, len(keep))
+	for _, k := range keep {
+		keepSet[k] = true
+	}
+	lines := strings.Split(src, "\n")
+
+	check := func(cand []string) bool {
+		co, err := Observe(strings.Join(cand, "\n"), spec)
+		if err != nil {
+			return false
+		}
+		have := keysOf(co)
+		for k := range keepSet {
+			if !have[k] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for changed := true; changed && budget > 0; {
+		changed = false
+		for _, idxs := range candidates(lines) {
+			if budget <= 0 {
+				break
+			}
+			cand, any := blankLines(lines, idxs)
+			if !any {
+				continue
+			}
+			budget--
+			if check(cand) {
+				lines = cand
+				changed = true
+			}
+		}
+	}
+
+	removed := 0
+	for i, l := range strings.Split(src, "\n") {
+		if strings.TrimSpace(l) != "" && strings.TrimSpace(lines[i]) == "" {
+			removed++
+		}
+	}
+	return strings.Join(lines, "\n"), removed
+}
+
+// blankLines returns a copy of lines with idxs blanked, and whether any
+// of them was still nonblank (a candidate that blanks nothing is a
+// wasted check).
+func blankLines(lines []string, idxs []int) ([]string, bool) {
+	out := append([]string(nil), lines...)
+	any := false
+	for _, i := range idxs {
+		if strings.TrimSpace(out[i]) != "" {
+			any = true
+		}
+		out[i] = ""
+	}
+	return out, any
+}

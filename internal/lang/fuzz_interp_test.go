@@ -1,0 +1,82 @@
+package lang_test
+
+// FuzzInterp closes the front-end fuzzing loop over the back end: any
+// program the parser accepts must execute without escaping panics. The
+// target lives in an external test package so it can seed directly from
+// the program generator (gen imports lang, so an in-package target
+// would be an import cycle).
+//
+// The invariants:
+//
+//   - Interp.Run either returns a result or a *lang.RuntimeError; no
+//     other panic may escape (scheduler aborts, interpreter bugs);
+//   - the step bound always terminates the run, even for
+//     malformed-but-parsable programs that loop or recurse forever
+//     (while back edges and calls are scheduling points);
+//   - the outcome is one of the scheduler's declared classifications.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dlfuzz/internal/lang"
+	"dlfuzz/internal/lang/gen"
+	"dlfuzz/internal/sched"
+)
+
+func FuzzInterp(f *testing.F) {
+	for _, glob := range []string{
+		filepath.Join("..", "..", "testdata", "*.clf"),
+		filepath.Join("..", "..", "testdata", "corpus", "*.clf"),
+	} {
+		files, err := filepath.Glob(glob)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, fn := range files {
+			src, err := os.ReadFile(fn)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(string(src))
+		}
+	}
+	// Generator output exercises the interpreter paths (factory calls,
+	// field locks, data-dependent branches) the hand-written models skip.
+	for seed := int64(1); seed <= 3; seed++ {
+		f.Add(gen.Generate(seed, gen.Small()))
+		f.Add(gen.Generate(seed, gen.Medium()))
+	}
+	// Malformed-but-parsable slivers: unbounded loop and recursion must
+	// hit the step bound, runtime type errors must surface as
+	// *lang.RuntimeError.
+	f.Add("fn main() { while true { work(1); } }")
+	f.Add("fn f() { f(); } fn main() { f(); }")
+	f.Add("fn main() { join 1; }")
+	f.Add("fn main() { sync (nil) { } }")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := lang.Parse("fuzz.clf", src)
+		if err != nil {
+			return // front-end rejection is FuzzParser's domain
+		}
+		res, err := lang.NewInterp(prog, nil).Run(sched.Options{Seed: 1, MaxSteps: 20000})
+		if err != nil {
+			var rt *lang.RuntimeError
+			if !errors.As(err, &rt) {
+				t.Fatalf("Run returned a non-runtime error: %T (%v)", err, err)
+			}
+			return
+		}
+		if res == nil {
+			t.Fatal("Run returned neither result nor error")
+		}
+		switch res.Outcome {
+		case sched.Completed, sched.Deadlock, sched.Stall, sched.StepLimit:
+		default:
+			t.Fatalf("unknown outcome %v", res.Outcome)
+		}
+	})
+}

@@ -21,7 +21,9 @@ import (
 	"testing"
 )
 
-// seedCorpus adds every testdata CLF program to the fuzz corpus.
+// seedCorpus adds every testdata CLF program — the hand-written models
+// and the minimized generator corpus under testdata/corpus — to the fuzz
+// corpus.
 func seedCorpus(f *testing.F) {
 	f.Helper()
 	files, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.clf"))
@@ -31,6 +33,11 @@ func seedCorpus(f *testing.F) {
 	if len(files) == 0 {
 		f.Fatal("no testdata/*.clf seed programs found")
 	}
+	generated, err := filepath.Glob(filepath.Join("..", "..", "testdata", "corpus", "*.clf"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	files = append(files, generated...)
 	for _, fn := range files {
 		src, err := os.ReadFile(fn)
 		if err != nil {

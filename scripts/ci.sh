@@ -24,7 +24,13 @@
 #                          sharded-closure wall times (BENCH_phase1.json)
 #   9. replay smoke      — fuzz philosophers with -witness-dir, then
 #                          `dlfuzz replay` every emitted witness
-#  10. docs links        — every relative link in README.md and
+#  10. corpus smoke      — dlgen harvests a fresh 25-seed corpus into a
+#                          temp dir and re-validates it, then re-validates
+#                          the committed testdata/corpus (every program
+#                          must still parse, report its manifest cycle
+#                          keys, and pass the serial-vs-parallel width
+#                          differential)
+#  11. docs links        — every relative link in README.md and
 #                          docs/*.md resolves to a file in the repo
 #
 # FUZZTIME overrides the smoke window (default 10s); BENCHRUNS the
@@ -79,7 +85,7 @@ if [ -n "$baseline" ]; then
 fi
 
 echo "== phase1 bench: observation campaign + sharded closure =="
-go run ./cmd/dlbench -phase1-json BENCH_phase1.json
+go run ./cmd/dlbench -phase1-json BENCH_phase1.json -gen-seeds 8
 
 echo "== replay smoke: witness round trip on philosophers =="
 witdir="$(mktemp -d)"
@@ -88,6 +94,14 @@ trap 'rm -rf "$witdir"' EXIT
 go run ./cmd/dlfuzz -runs 30 -witness-dir "$witdir" \
 	testdata/philosophers.clf >/dev/null || [ $? -eq 1 ]
 go run ./cmd/dlfuzz replay -q "$witdir"
+
+echo "== corpus smoke: harvest 25 seeds, validate fresh and committed corpora =="
+corpusdir="$(mktemp -d)"
+trap 'rm -rf "$witdir" "$corpusdir"' EXIT
+go run ./cmd/dlgen harvest -dir "$corpusdir" -seeds 25 -max-programs 6 \
+	-confirm-runs 3 >/dev/null
+go run ./cmd/dlgen status -dir "$corpusdir" -check >/dev/null
+go run ./cmd/dlgen status -dir testdata/corpus -check
 
 echo "== docs links: relative links in README.md and docs/*.md resolve =="
 bad=0
