@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build test race bench bench-smoke profile fuzz-smoke vet replay-smoke corpus-smoke corpus
+.PHONY: ci build test race bench bench-smoke profile fuzz-smoke vet replay-smoke corpus-smoke corpus bakeoff-smoke
 
 ci:
 	./scripts/ci.sh
@@ -32,12 +32,22 @@ replay-smoke:
 
 # Serial-vs-parallel campaign scaling on the CLF programs, the sharded
 # Phase I closure at 1/2/4 workers, and the machine-readable cost
-# benchmarks (BENCH_pipeline.json, BENCH_phase1.json).
+# benchmarks (BENCH_pipeline.json, BENCH_phase1.json,
+# BENCH_bakeoff.json).
 bench:
 	$(GO) test -run='^$$' -bench=BenchmarkConfirmCampaign -benchtime=20x .
 	$(GO) test -run='^$$' -bench=BenchmarkClosure -benchtime=3x .
 	$(GO) run ./cmd/dlbench -pipeline-json BENCH_pipeline.json -runs 100
 	$(GO) run ./cmd/dlbench -phase1-json BENCH_phase1.json -gen-seeds 8
+	$(GO) run ./cmd/dlbench -bakeoff-json BENCH_bakeoff.json
+
+# Race every registered Phase I finder over the first five corpus
+# programs and require each sound finder to confirm all of its
+# candidates (the CI bakeoff smoke, runnable on its own).
+bakeoff-smoke:
+	@out=$$(mktemp); trap 'rm -f "$$out"' EXIT; \
+	$(GO) run ./cmd/dlbench -bakeoff-json "$$out" -bakeoff-entries 5 \
+		-check-sound
 
 # One pass over every benchmark — including the Phase I closure smoke
 # (BenchmarkClosure at every worker count) — so benchmark-only code

@@ -333,7 +333,7 @@ func BenchmarkIGoodlockJoin(b *testing.B) {
 	if s.Run(w.Prog).Outcome != sched.Completed {
 		b.Skip("observation run deadlocked")
 	}
-	cfg := harness.DefaultVariant().Goodlock
+	cfg := harness.DefaultVariant().Goodlock.Closure()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -23,26 +23,38 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable args and streams, so the outcome report
+// can be golden-tested. Exit codes: 0 clean, 1 deadlock, 2 error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("clfrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		seed      = flag.Int64("seed", 0, "scheduler seed")
-		maxSteps  = flag.Int("max-steps", 0, "step bound (0 = default)")
-		traceOut  = flag.String("trace", "", "write the event trace (JSON lines) to this file")
-		recordOut = flag.String("record", "", "write the schedule to this file")
-		replayIn  = flag.String("replay", "", "replay a schedule from this file")
+		seed      = fs.Int64("seed", 0, "scheduler seed")
+		maxSteps  = fs.Int("max-steps", 0, "step bound (0 = default)")
+		traceOut  = fs.String("trace", "", "write the event trace (JSON lines) to this file")
+		recordOut = fs.String("record", "", "write the schedule to this file")
+		replayIn  = fs.String("replay", "", "replay a schedule from this file")
 	)
-	flag.Parse()
-	if len(flag.Args()) != 1 {
-		fmt.Fprintln(os.Stderr, "usage: clfrun [flags] program.clf")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	file := flag.Arg(0)
+	if len(fs.Args()) != 1 {
+		fmt.Fprintln(stderr, "usage: clfrun [flags] program.clf")
+		return 2
+	}
+	file := fs.Arg(0)
 	src, err := os.ReadFile(file)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "clfrun:", err)
+		return 2
 	}
 	prog, err := lang.Parse(file, string(src))
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "clfrun:", err)
+		return 2
 	}
 
 	opts := sched.Options{Seed: *seed, MaxSteps: *maxSteps}
@@ -58,12 +70,14 @@ func main() {
 	case *replayIn != "":
 		f, err := os.Open(*replayIn)
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "clfrun:", err)
+			return 2
 		}
 		schedule, err := trace.ReadSchedule(f)
 		f.Close()
 		if err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "clfrun:", err)
+			return 2
 		}
 		replayer = trace.NewReplay(schedule)
 		opts.Policy = replayer
@@ -72,39 +86,38 @@ func main() {
 		opts.Policy = recorder
 	}
 
-	res, err := lang.NewInterp(prog, os.Stdout).Run(opts)
+	res, err := lang.NewInterp(prog, stdout).Run(opts)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "clfrun:", err)
+		return 2
 	}
 
-	fmt.Printf("outcome: %s (%d steps, %d events, %d threads, %d objects)\n",
+	fmt.Fprintf(stdout, "outcome: %s (%d steps, %d events, %d threads, %d objects)\n",
 		res.Outcome, res.Steps, res.Events, res.Spawned, res.Allocated)
 	if res.Deadlock != nil {
-		fmt.Println(res.Deadlock)
+		fmt.Fprintln(stdout, res.Deadlock)
 	}
 	if replayer != nil && replayer.Diverged() {
-		fmt.Println("warning: replay diverged from the recorded schedule")
+		fmt.Fprintln(stdout, "warning: replay diverged from the recorded schedule")
 	}
 	if collector != nil {
 		if err := writeFile(*traceOut, collector.Encode); err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "clfrun:", err)
+			return 2
 		}
-		fmt.Printf("trace: %d events written to %s\n", collector.Len(), *traceOut)
+		fmt.Fprintf(stdout, "trace: %d events written to %s\n", collector.Len(), *traceOut)
 	}
 	if recorder != nil {
 		if err := writeFile(*recordOut, recorder.Schedule().Encode); err != nil {
-			fail(err)
+			fmt.Fprintln(stderr, "clfrun:", err)
+			return 2
 		}
-		fmt.Printf("schedule: %d decisions written to %s\n", len(recorder.Schedule()), *recordOut)
+		fmt.Fprintf(stdout, "schedule: %d decisions written to %s\n", len(recorder.Schedule()), *recordOut)
 	}
 	if res.Outcome == dlfuzz.Deadlock {
-		os.Exit(1)
+		return 1
 	}
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "clfrun:", err)
-	os.Exit(2)
+	return 0
 }
 
 func writeFile(path string, write func(w io.Writer) error) error {

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRunPhilosophersGolden pins the single-run outcome report on the
+// dining philosophers at a fixed seed, byte-for-byte. Regenerate with
+// `go test ./cmd/clfrun -update` after an intentional format change.
+func TestRunPhilosophersGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-seed", "3",
+		filepath.Join("..", "..", "testdata", "philosophers.clf"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", stderr.String())
+	}
+	golden := filepath.Join("testdata", "philosophers.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output diverged from golden file:\n--- got ---\n%s\n--- want ---\n%s", stdout.Bytes(), want)
+	}
+}
+
+// TestRunRecordReplayRoundTrip records a schedule, replays it, and
+// requires the replayed outcome line to match the recorded run exactly
+// (and not to warn about divergence).
+func TestRunRecordReplayRoundTrip(t *testing.T) {
+	prog := filepath.Join("..", "..", "testdata", "philosophers.clf")
+	sched := filepath.Join(t.TempDir(), "sched.json")
+
+	var recOut, recErr bytes.Buffer
+	recCode := run([]string{"-seed", "5", "-record", sched, prog}, &recOut, &recErr)
+	if recCode != 0 && recCode != 1 {
+		t.Fatalf("record run exit %d; stderr: %s", recCode, recErr.String())
+	}
+
+	var repOut, repErr bytes.Buffer
+	repCode := run([]string{"-replay", sched, prog}, &repOut, &repErr)
+	if repCode != recCode {
+		t.Errorf("replay exit %d, recorded run exit %d; stderr: %s", repCode, recCode, repErr.String())
+	}
+	if bytes.Contains(repOut.Bytes(), []byte("diverged")) {
+		t.Errorf("replay diverged:\n%s", repOut.String())
+	}
+	recLine, _, _ := bytes.Cut(recOut.Bytes(), []byte("\n"))
+	repLine, _, _ := bytes.Cut(repOut.Bytes(), []byte("\n"))
+	if !bytes.Equal(recLine, repLine) {
+		t.Errorf("replayed outcome %q != recorded outcome %q", repLine, recLine)
+	}
+}
+
+// TestRunTraceFile checks -trace writes a non-empty JSONL event stream.
+func TestRunTraceFile(t *testing.T) {
+	traceOut := filepath.Join(t.TempDir(), "trace.jsonl")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-seed", "3", "-trace", traceOut,
+		filepath.Join("..", "..", "testdata", "philosophers.clf"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(traceOut)
+	if err != nil || len(data) == 0 {
+		t.Errorf("trace file empty or unreadable: %v", err)
+	}
+}
+
+// TestRunUsageErrors covers the non-analysis exit paths.
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no arguments: exit %d, want 2", code)
+	}
+	if code := run([]string{filepath.Join(t.TempDir(), "missing.clf")}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	if code := run([]string{"-replay", filepath.Join(t.TempDir(), "missing.json"),
+		filepath.Join("..", "..", "testdata", "philosophers.clf")}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing schedule: exit %d, want 2", code)
+	}
+}

@@ -13,6 +13,8 @@
 //	        -cpuprofile cpu.out -memprofile mem.out   # profile one workload
 //	dlbench -pipeline-json BENCH_pipeline.json \
 //	        -metrics-out BENCH_metrics.txt   # + campaign metrics snapshot
+//	dlbench -bakeoff-json BENCH_bakeoff.json  # Phase I finder bakeoff
+//	dlbench -bakeoff-json BENCH_bakeoff.json -bakeoff-entries 5 -check-sound
 package main
 
 import (
@@ -43,6 +45,10 @@ func main() {
 		imprecision  = flag.Bool("imprecision", false, "run the Section 5.4 imprecision study on Jigsaw")
 		pipelineJSON = flag.String("pipeline-json", "", "write a machine-readable Check benchmark over the Figure-2 workloads to this file and exit")
 		phase1JSON   = flag.String("phase1-json", "", "write a machine-readable Phase I campaign + sharded closure benchmark to this file and exit")
+		bakeoffJSON  = flag.String("bakeoff-json", "", "write a Phase I finder bakeoff over the committed corpus to this file and exit")
+		bakeoffDir   = flag.String("bakeoff-corpus", "testdata/corpus", "corpus directory for -bakeoff-json")
+		bakeoffN     = flag.Int("bakeoff-entries", 0, "cap corpus entries for -bakeoff-json (0 = all)")
+		checkSound   = flag.Bool("check-sound", false, "with -bakeoff-json: fail if a sound finder has Phase-II-unconfirmed candidates")
 		workload     = flag.String("workload", "", "restrict -pipeline-json to one workload (useful with the profile flags)")
 		runs         = flag.Int("runs", 100, "Phase II execution budget per workload (shared across its cycles)")
 		p1runs       = flag.Int("p1-runs", 1, "Phase I observation runs per workload (-phase1-json defaults to 8)")
@@ -81,10 +87,61 @@ func main() {
 		}()
 	}
 
+	if *bakeoffJSON != "" {
+		if err := bakeoffBench(*bakeoffJSON, *bakeoffDir, *bakeoffN, *runs, *parallel, *checkSound); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *checkSound {
+		fail(fmt.Errorf("-check-sound requires -bakeoff-json"))
+	}
+
 	if err := run(*table, *fig, *imprecision, *pipelineJSON, *phase1JSON, *workload, *metricsOut,
 		*runs, *maxCycles, *parallel, *stopAfter, *p1runs, *p1par, *genSeeds); err != nil {
 		fail(err)
 	}
+}
+
+// bakeoffBench writes BENCH_bakeoff.json: every registered Phase I
+// finder over the committed corpus, each finder's candidates confirmed
+// by the same Phase II budget, so precision (false-positive rate) and
+// closure cost are tracked side by side across revisions. With
+// checkSound it doubles as the CI gate: a finder that declares itself
+// sound must have zero Phase-II-unconfirmed candidates.
+func bakeoffBench(path, dir string, maxEntries, confirmRuns, parallel int, checkSound bool) error {
+	// The default -runs (100, the Phase II paper budget) is excessive per
+	// bakeoff candidate; unless overridden, let RunBakeoff pick its
+	// default of 5 confirmations per candidate.
+	if confirmRuns == 100 {
+		confirmRuns = 0
+	}
+	b, err := harness.RunBakeoff(dir, harness.BakeoffOptions{
+		ConfirmRuns: confirmRuns,
+		MaxEntries:  maxEntries,
+		Parallelism: parallel,
+		Log:         func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	for _, f := range b.Finders {
+		fmt.Printf("finder %-10s sound=%-5v candidates=%-4d confirmed=%-4d unconfirmed=%-3d fp-rate=%.2f closure=%.1fms\n",
+			f.Finder, f.Sound, f.Candidates, f.Confirmed, f.Unconfirmed, f.FalsePositiveRate, f.ClosureMs)
+	}
+	if err := b.WriteJSON(path); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d corpus entries, %d confirm runs per candidate)\n", path, b.Entries, b.ConfirmRuns)
+	if checkSound {
+		for _, f := range b.Finders {
+			if f.Sound && f.Unconfirmed > 0 {
+				return fmt.Errorf("sound finder %q has %d unconfirmed candidates", f.Finder, f.Unconfirmed)
+			}
+		}
+		fmt.Println("check-sound: every sound finder confirmed all of its candidates")
+	}
+	return nil
 }
 
 // run is main minus flag parsing and profiling, so the profile teardown

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"dlfuzz"
 	"dlfuzz/internal/obs"
@@ -53,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		noCtx     = fs.Bool("no-context", false, "ignore acquire contexts when pausing (variant 4)")
 		noYield   = fs.Bool("no-yields", false, "disable the yield optimization (variant 5)")
 		maxLen    = fs.Int("max-cycle-len", 0, "bound cycle length in Phase I (0 = unbounded)")
+		finder    = fs.String("finder", "", "Phase I candidate finder: "+strings.Join(dlfuzz.FinderNames(), ", ")+" (default igoodlock)")
 		seed      = fs.Int64("seed", 1, "first seed for the Phase I observation run")
 		p1runs    = fs.Int("p1-runs", 1, "Phase I observation runs; relations are merged and closed once")
 		p1par     = fs.Int("p1-parallel", 0, "Phase I campaign and closure workers (0 = all cores, 1 = serial); results are identical")
@@ -93,7 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := dlfuzz.CheckOptions{
 		Find: dlfuzz.FindOptions{
 			Abstraction: abstraction, K: *k, MaxCycleLen: *maxLen, Seed: *seed,
-			Runs: *p1runs, Parallelism: *p1par,
+			Runs: *p1runs, Parallelism: *p1par, Finder: *finder,
 		},
 		Confirm: dlfuzz.ConfirmOptions{
 			Abstraction: abstraction, K: *k,
@@ -102,12 +104,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		},
 	}
 
-	fmt.Fprintf(stdout, "== %s: Phase I (iGoodlock) ==\n", name)
+	phase1 := "iGoodlock"
+	if *finder != "" {
+		phase1 = "finder " + *finder
+	}
+	fmt.Fprintf(stdout, "== %s: Phase I (%s) ==\n", name, phase1)
 	find, err := dlfuzz.Find(prog, opts.Find)
 	printObserved(stdout, find)
 	if err != nil {
 		fmt.Fprintln(stderr, "dlfuzz:", err)
-		if len(find.ObservedDeadlocks) > 0 {
+		if find != nil && len(find.ObservedDeadlocks) > 0 {
 			return 1 // prediction failed, but deadlocks were witnessed
 		}
 		return 2
@@ -128,6 +134,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i, cyc := range find.FalsePositives {
 		fmt.Fprintf(stdout, "  false positive %d: %s\n", i+1, cyc)
 	}
+	// The Phase II budget follows the finder's ranking (for the default
+	// finder this is exactly report order, so the output is unchanged).
+	opts.Confirm.Ranks = find.Ranks()
 	if len(find.Cycles) == 0 {
 		fmt.Fprintln(stdout, "no plausible cycles; nothing to confirm")
 		if len(find.ObservedDeadlocks) > 0 {

@@ -47,11 +47,44 @@ func TestRunPhilosophersGolden(t *testing.T) {
 	}
 }
 
+// TestRunSyncFinderGolden pins the pipeline output under -finder sync:
+// the sound predictor's candidates all confirm, and the header names
+// the finder. Regenerate with `go test ./cmd/dlfuzz -update`.
+func TestRunSyncFinderGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-runs", "30",
+		"-parallel", "2",
+		"-finder", "sync",
+		filepath.Join("..", "..", "testdata", "philosophers.clf"),
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (deadlocks found); stderr: %s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "philosophers-sync.golden")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output diverged from golden file:\n--- got ---\n%s\n--- want ---\n%s", stdout.Bytes(), want)
+	}
+}
+
 // TestRunUsageErrors covers the non-analysis exit paths.
 func TestRunUsageErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-workload", "no-such-workload"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown workload: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-finder", "no-such-finder", "-workload", "lists"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown finder: exit %d, want 2", code)
 	}
 	stderr.Reset()
 	if code := run([]string{"-abs", "bogus", "-workload", "lists"}, &stdout, &stderr); code != 2 {

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"dlfuzz"
@@ -19,54 +20,68 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable args and streams, so the report format
+// can be golden-tested. Exit codes: 0 done, 2 error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dlstatic", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		compare  = flag.Bool("compare", false, "also run the dynamic two-phase pipeline and contrast")
-		runs     = flag.Int("runs", 50, "Phase II executions per cycle in -compare mode")
-		showEdge = flag.Bool("edges", false, "print the full lock-order graph")
+		compare  = fs.Bool("compare", false, "also run the dynamic two-phase pipeline and contrast")
+		runs     = fs.Int("runs", 50, "Phase II executions per cycle in -compare mode")
+		showEdge = fs.Bool("edges", false, "print the full lock-order graph")
 	)
-	flag.Parse()
-	if len(flag.Args()) != 1 {
-		fmt.Fprintln(os.Stderr, "usage: dlstatic [flags] program.clf")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	file := flag.Arg(0)
+	if len(fs.Args()) != 1 {
+		fmt.Fprintln(stderr, "usage: dlstatic [flags] program.clf")
+		return 2
+	}
+	file := fs.Arg(0)
 	src, err := os.ReadFile(file)
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "dlstatic:", err)
+		return 2
 	}
 	prog, err := lang.Parse(file, string(src))
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "dlstatic:", err)
+		return 2
 	}
 
 	res := static.Analyze(prog)
-	fmt.Printf("== static lock-order analysis: %s ==\n", file)
-	fmt.Printf("lock-order edges: %d\n", len(res.Edges))
+	fmt.Fprintf(stdout, "== static lock-order analysis: %s ==\n", file)
+	fmt.Fprintf(stdout, "lock-order edges: %d\n", len(res.Edges))
 	if *showEdge {
 		for _, e := range res.Edges {
-			fmt.Printf("  %s\n", e)
+			fmt.Fprintf(stdout, "  %s\n", e)
 		}
 	}
-	fmt.Printf("potential static deadlock cycles: %d\n", len(res.Cycles))
+	fmt.Fprintf(stdout, "potential static deadlock cycles: %d\n", len(res.Cycles))
 	for i, c := range res.Cycles {
-		fmt.Printf("  %d: %s\n", i+1, c)
+		fmt.Fprintf(stdout, "  %d: %s\n", i+1, c)
 	}
 
 	if !*compare {
-		return
+		return 0
 	}
 
-	fmt.Printf("\n== dynamic pipeline for comparison ==\n")
+	fmt.Fprintf(stdout, "\n== dynamic pipeline for comparison ==\n")
 	p, err := dlfuzz.ParseCLF(file, string(src))
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "dlstatic:", err)
+		return 2
 	}
-	body := p.Body()
+	body := p.WithOutput(stdout).Body()
 	find, err := dlfuzz.Find(body, dlfuzz.DefaultFindOptions())
 	if err != nil {
-		fail(err)
+		fmt.Fprintln(stderr, "dlstatic:", err)
+		return 2
 	}
-	fmt.Printf("iGoodlock potential cycles: %d (+%d provably false by happens-before)\n",
+	fmt.Fprintf(stdout, "iGoodlock potential cycles: %d (+%d provably false by happens-before)\n",
 		len(find.Cycles), len(find.FalsePositives))
 	confirmed := 0
 	opts := dlfuzz.DefaultConfirmOptions()
@@ -76,13 +91,9 @@ func main() {
 			confirmed++
 		}
 	}
-	fmt.Printf("confirmed real by DeadlockFuzzer: %d\n", confirmed)
-	fmt.Printf("\nsummary: static reports %d site-level cycles; iGoodlock reports %d object-level cycles (%d provably false); %d confirmed as real deadlocks\n",
+	fmt.Fprintf(stdout, "confirmed real by DeadlockFuzzer: %d\n", confirmed)
+	fmt.Fprintf(stdout, "\nsummary: static reports %d site-level cycles; iGoodlock reports %d object-level cycles (%d provably false); %d confirmed as real deadlocks\n",
 		len(res.Cycles), len(find.Cycles)+len(find.FalsePositives), len(find.FalsePositives), confirmed)
-	fmt.Println("(site-level and object-level counts are not directly comparable: one factory site can stand for many objects, and vice versa every confirmed cycle maps to some static cycle)")
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "dlstatic:", err)
-	os.Exit(2)
+	fmt.Fprintln(stdout, "(site-level and object-level counts are not directly comparable: one factory site can stand for many objects, and vice versa every confirmed cycle maps to some static cycle)")
+	return 0
 }

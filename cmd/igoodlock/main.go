@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"dlfuzz"
 	"dlfuzz/internal/workloads"
@@ -28,6 +29,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workload = fs.String("workload", "", "analyze a named built-in workload instead of a CLF file")
 		k        = fs.Int("k", 10, "abstraction depth")
 		maxLen   = fs.Int("max-cycle-len", 0, "bound cycle length (0 = unbounded; the paper suggests 2 on a budget)")
+		finder   = fs.String("finder", "", "candidate finder: "+strings.Join(dlfuzz.FinderNames(), ", ")+" (default igoodlock)")
 		seed     = fs.Int64("seed", 1, "first observation seed")
 		runs     = fs.Int("runs", 1, "observation runs; relations are merged and closed once")
 		parallel = fs.Int("parallel", 0, "campaign and closure workers (0 = all cores, 1 = serial); results are identical")
@@ -71,7 +73,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts.Seed = *seed
 	opts.Runs = *runs
 	opts.Parallelism = *parallel
+	opts.Finder = *finder
 	rep, err := dlfuzz.Find(prog, opts)
+	if rep == nil {
+		fmt.Fprintln(stderr, "igoodlock:", err)
+		return 2
+	}
 	// Deadlocks hit while trying to observe a completed run are real
 	// findings — print them whether or not prediction succeeded.
 	if len(rep.ObservedDeadlocks) > 0 {

@@ -47,11 +47,47 @@ func TestRunPhilosophersGolden(t *testing.T) {
 	}
 }
 
+// TestRunSyncFinderGolden pins the report under -finder sync: same
+// format, fewer (sound) cycles. Regenerate with
+// `go test ./cmd/igoodlock -update`.
+func TestRunSyncFinderGolden(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-runs", "4",
+		"-parallel", "2",
+		"-finder", "sync",
+		filepath.Join("..", "..", "testdata", "philosophers.clf"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	golden := filepath.Join("testdata", "philosophers-sync.golden")
+	if *update {
+		if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(stdout.Bytes(), want) {
+		t.Errorf("output diverged from golden file:\n--- got ---\n%s\n--- want ---\n%s", stdout.Bytes(), want)
+	}
+}
+
 // TestRunUsageErrors covers the non-analysis exit paths.
 func TestRunUsageErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-workload", "no-such-workload"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown workload: exit %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"-finder", "no-such-finder", "-workload", "lists"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown finder: exit %d, want 2", code)
+	}
+	if !bytes.Contains(stderr.Bytes(), []byte("igoodlock")) {
+		t.Errorf("unknown-finder error does not list the registered finders: %s", stderr.String())
 	}
 	if code := run(nil, &stdout, &stderr); code != 2 {
 		t.Errorf("no arguments: exit %d, want 2", code)

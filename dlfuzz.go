@@ -14,6 +14,7 @@ import (
 	"dlfuzz/internal/lang"
 	"dlfuzz/internal/object"
 	"dlfuzz/internal/obs"
+	"dlfuzz/internal/predict"
 	"dlfuzz/internal/sched"
 )
 
@@ -33,6 +34,9 @@ type (
 	Loc = event.Loc
 	// Cycle is a potential deadlock cycle reported by Phase I.
 	Cycle = igoodlock.Cycle
+	// Candidate is a cycle with its Phase II confirm-budget rank and the
+	// name of the finder that reported it.
+	Candidate = predict.Candidate
 	// DeadlockInfo describes a confirmed deadlock: the cycle of
 	// threads, the locks they hold and want, and the acquire contexts.
 	DeadlockInfo = sched.DeadlockInfo
@@ -98,7 +102,15 @@ type FindOptions struct {
 	// one worker per core, 1 means serial. The report is identical at
 	// every setting.
 	Parallelism int
+	// Finder selects the Phase I candidate finder by name: "" and
+	// "igoodlock" are the paper's closure, "sync" the sound
+	// sync-preserving predictor (every candidate it reports is
+	// realizable from the observed trace). See FinderNames.
+	Finder string
 }
+
+// FinderNames lists the registered Phase I finders, default first.
+func FinderNames() []string { return predict.Names() }
 
 // DefaultFindOptions returns the paper's configuration: execution
 // indexing with k=10.
@@ -110,6 +122,9 @@ func DefaultFindOptions() FindOptions {
 type FindReport struct {
 	// Cycles are potential deadlocks that could be real.
 	Cycles []*Cycle
+	// Candidates pairs each cycle with its confirm-budget rank and
+	// finder name (Candidates[i].Cycle == Cycles[i]).
+	Candidates []*Candidate
 	// FalsePositives are reports proven impossible by the
 	// happens-before relation of the observed run.
 	FalsePositives []*Cycle
@@ -144,10 +159,14 @@ type FindReport struct {
 // run completes, together with a partial report carrying any deadlocks
 // the attempts witnessed.
 func Find(prog func(*Ctx), opts FindOptions) (*FindReport, error) {
-	cfg := igoodlock.Config{
+	cfg := predict.Config{
 		Abstraction: opts.Abstraction,
 		K:           opts.K,
 		MaxLen:      opts.MaxCycleLen,
+	}
+	finder, err := predict.ByName(opts.Finder)
+	if err != nil {
+		return nil, err
 	}
 	p1, err := harness.RunPhase1Campaign(prog, cfg, analysis.CampaignOptions{
 		Runs:               opts.Runs,
@@ -155,9 +174,11 @@ func Find(prog func(*Ctx), opts FindOptions) (*FindReport, error) {
 		ClosureParallelism: opts.Parallelism,
 		Seed:               opts.Seed,
 		MaxSteps:           opts.MaxSteps,
+		Finder:             finder,
 	})
 	return &FindReport{
 		Cycles:            p1.Cycles,
+		Candidates:        p1.Candidates,
 		FalsePositives:    p1.FalsePositives,
 		Deps:              p1.Deps,
 		Seed:              p1.Seed,
@@ -168,6 +189,16 @@ func Find(prog func(*Ctx), opts FindOptions) (*FindReport, error) {
 		RawDeps:           p1.RawDeps,
 		NewCyclesByRun:    p1.NewCyclesByRun(),
 	}, err
+}
+
+// Ranks returns the report's confirm-budget ranks, parallel to Cycles —
+// the shape ConfirmOptions.Ranks takes. Nil when the report has no
+// candidates (e.g. a partial report from a failed observation).
+func (r *FindReport) Ranks() []float64 {
+	if len(r.Candidates) == 0 {
+		return nil
+	}
+	return predict.Ranks(r.Candidates)
 }
 
 // ErrNoCompletedRun is returned by Find when every attempted observation
@@ -205,6 +236,14 @@ type ConfirmOptions struct {
 	// `dlbench -metrics-out`. Leaving it nil keeps the execution hot
 	// path allocation-free.
 	OnRun func(*RunRecord)
+	// Ranks, when non-nil, spends ConfirmAll's round-robin budget on
+	// higher-ranked candidates first (ties break by canonical cycle
+	// key); it must be parallel to the cycles slice — FindReport.Ranks
+	// produces it. Nil targets candidates in input order. Reports stay
+	// indexed by input order either way, and the default finder's
+	// strictly decreasing ranks make ranked order identical to input
+	// order.
+	Ranks []float64
 }
 
 // DefaultConfirmOptions returns the paper's variant 2 with 100 runs.
@@ -297,6 +336,7 @@ func ConfirmAll(prog func(*Ctx), cycles []*Cycle, opts ConfirmOptions) *MultiRep
 		Parallelism: opts.Parallelism,
 		StopAfter:   opts.StopAfter,
 		OnRun:       opts.OnRun,
+		Ranks:       opts.Ranks,
 	})
 	out := &MultiReport{
 		Executions: sum.Executions,
@@ -364,6 +404,9 @@ func Check(prog func(*Ctx), opts CheckOptions) (*CheckReport, error) {
 	out := &CheckReport{Find: fr}
 	if err != nil {
 		return out, err
+	}
+	if opts.Confirm.Ranks == nil {
+		opts.Confirm.Ranks = fr.Ranks()
 	}
 	multi := ConfirmAll(prog, fr.Cycles, opts.Confirm)
 	for i, cyc := range fr.Cycles {

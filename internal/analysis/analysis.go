@@ -7,8 +7,13 @@ import (
 	"dlfuzz/internal/hb"
 	"dlfuzz/internal/igoodlock"
 	"dlfuzz/internal/lockset"
+	"dlfuzz/internal/predict"
 	"dlfuzz/internal/sched"
 	"dlfuzz/internal/trace"
+
+	// Register the sound sync-preserving finder alongside the default
+	// iGoodlock one: every pipeline consumer resolves finders by name.
+	_ "dlfuzz/internal/predict/sync"
 )
 
 // Pipeline is an ordered set of analyses attached to one execution. The
@@ -115,13 +120,17 @@ func (s *Stats) OnEvent(ev sched.Ev) {
 // observation execution.
 var ErrNoCompletedRun = errors.New("analysis: no seed produced a completed observation run")
 
-// Observation is the outcome of an iGoodlock observation pass: one
+// Observation is the outcome of a Phase I observation pass: one
 // pipeline execution per attempted seed, dependency recording and
-// happens-before tracking sharing the stream, iGoodlock and the
-// HB filter run over the recorded relation.
+// happens-before tracking sharing the stream, a candidate finder and
+// the HB filter run over the recorded relation.
 type Observation struct {
-	// Cycles are the potential deadlock cycles that survive the
-	// happens-before filter; FalsePositives were proved impossible.
+	// Candidates are the finder's reports that survive the
+	// happens-before filter, with their confirm-budget ranks;
+	// Cycles is its cycle column (Cycles[i] == Candidates[i].Cycle),
+	// kept because most consumers only need the Phase II targets.
+	// FalsePositives were proved impossible by must-happens-before.
+	Candidates     []*predict.Candidate
 	Cycles         []*igoodlock.Cycle
 	FalsePositives []*igoodlock.Cycle
 	// Deps is the size of the recorded lock dependency relation.
@@ -157,6 +166,7 @@ type runOutcome struct {
 	attempts  int
 	completed bool
 	deps      []*lockset.Dep
+	hist      *predict.History
 	steps     int
 	events    uint64
 	stats     *Stats
@@ -166,8 +176,10 @@ type runOutcome struct {
 // observeRun executes one observation run: seeds from base upward are
 // tried until an execution completes, each attempt running a fresh
 // HB + lock-dependency pipeline on a pooled scheduler shell. Attempts
-// that deadlock are recorded on the outcome, not discarded.
-func observeRun(pool *sched.Pool, prog func(*sched.Ctx), base int64, maxSteps int) runOutcome {
+// that deadlock are recorded on the outcome, not discarded. withHistory
+// additionally records the run's synchronization history (observers
+// never perturb scheduling, so the executions are unchanged).
+func observeRun(pool *sched.Pool, prog func(*sched.Ctx), base int64, maxSteps int, withHistory bool) runOutcome {
 	ro := runOutcome{seed: base}
 	for attempt := 0; attempt < maxObserveAttempts; attempt++ {
 		s := base + int64(attempt)
@@ -178,6 +190,10 @@ func observeRun(pool *sched.Pool, prog func(*sched.Ctx), base int64, maxSteps in
 		tracker := p.HB()
 		rec := p.LockDeps(tracker)
 		stats := p.Stats()
+		var hist *predict.History
+		if withHistory {
+			hist = Attach(&p, predict.NewHistory())
+		}
 		res := p.RunPooled(pool, prog, Exec{Seed: s, MaxSteps: maxSteps})
 		if res.Outcome != sched.Completed {
 			if res.Outcome == sched.Deadlock && res.Deadlock != nil {
@@ -187,6 +203,7 @@ func observeRun(pool *sched.Pool, prog func(*sched.Ctx), base int64, maxSteps in
 		}
 		ro.completed = true
 		ro.deps = rec.Deps()
+		ro.hist = hist
 		ro.steps = res.Steps
 		ro.events = res.Events
 		ro.stats = stats
@@ -195,15 +212,43 @@ func observeRun(pool *sched.Pool, prog func(*sched.Ctx), base int64, maxSteps in
 	return ro
 }
 
-// Observe runs the Phase I observation pass: seeds from seed upward are
-// tried until an execution completes, each attempt running a fresh
-// HB + lock-dependency pipeline. Attempts that deadlock are recorded on
-// the result, not discarded. If no seed completes within the attempt
-// budget, Observe returns ErrNoCompletedRun together with a partial
-// (cycle-less) Observation carrying whatever deadlocks were witnessed —
-// callers that give up on prediction can still report those.
-func Observe(prog func(*sched.Ctx), cfg igoodlock.Config, seed int64, maxSteps int) (*Observation, error) {
-	ro := observeRun(sched.NewPool(), prog, seed, maxSteps)
+// partitionCandidates applies the must-happens-before filter to a
+// finder's report, preserving order: surviving candidates (and their
+// cycle column) versus provably-false cycles.
+func partitionCandidates(cands []*predict.Candidate) (keep []*predict.Candidate, cycles, fps []*igoodlock.Cycle) {
+	for _, cand := range cands {
+		if hb.ProvablyFalse(cand.Cycle) {
+			fps = append(fps, cand.Cycle)
+		} else {
+			keep = append(keep, cand)
+			cycles = append(cycles, cand.Cycle)
+		}
+	}
+	return keep, cycles, fps
+}
+
+// Observe runs the Phase I observation pass with the default finder:
+// seeds from seed upward are tried until an execution completes, each
+// attempt running a fresh HB + lock-dependency pipeline. Attempts that
+// deadlock are recorded on the result, not discarded. If no seed
+// completes within the attempt budget, Observe returns ErrNoCompletedRun
+// together with a partial (cycle-less) Observation carrying whatever
+// deadlocks were witnessed — callers that give up on prediction can
+// still report those.
+func Observe(prog func(*sched.Ctx), cfg predict.Config, seed int64, maxSteps int) (*Observation, error) {
+	return ObserveWith(prog, nil, cfg, seed, maxSteps)
+}
+
+// ObserveWith is Observe with an explicit candidate finder (nil means
+// the default iGoodlock closure). The observation execution is
+// identical for every finder — only the prediction over the recorded
+// relation differs (plus a synchronization-history observer when the
+// finder needs one, which does not perturb scheduling).
+func ObserveWith(prog func(*sched.Ctx), f predict.CandidateFinder, cfg predict.Config, seed int64, maxSteps int) (*Observation, error) {
+	if f == nil {
+		f = predict.Default()
+	}
+	ro := observeRun(sched.NewPool(), prog, seed, maxSteps, f.Caps().NeedsHistory)
 	obs := &Observation{
 		Seed:              ro.seed,
 		Attempts:          ro.attempts,
@@ -212,8 +257,13 @@ func Observe(prog func(*sched.Ctx), cfg igoodlock.Config, seed int64, maxSteps i
 	if !ro.completed {
 		return obs, ErrNoCompletedRun
 	}
-	all := igoodlock.Find(ro.deps, cfg)
-	obs.Cycles, obs.FalsePositives = hb.FilterCycles(all)
+	pobs := &predict.Observation{Deps: ro.deps}
+	if ro.hist != nil {
+		pobs.Histories = map[int]*predict.History{0: ro.hist}
+	}
+	cfgRun := cfg
+	cfgRun.Parallelism = 1 // single-run relations close serially
+	obs.Candidates, obs.Cycles, obs.FalsePositives = partitionCandidates(f.Find(pobs, cfgRun))
 	obs.Deps = len(ro.deps)
 	obs.Steps = ro.steps
 	obs.Events = ro.events

@@ -6,7 +6,7 @@ import (
 
 	"dlfuzz/internal/analysis"
 	"dlfuzz/internal/event"
-	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/predict"
 	"dlfuzz/internal/sched"
 )
 
@@ -99,7 +99,7 @@ func TestPipelineSharesOneRun(t *testing.T) {
 // deadlocks are on the result instead of silently dropped, and Attempts
 // counts every try.
 func TestObserveSurfacesDeadlocks(t *testing.T) {
-	cfg := igoodlock.Config{K: 10}
+	cfg := predict.Config{K: 10}
 	// Scan seeds for one where the first observation attempt deadlocks;
 	// the inversion deadlocks often enough that one exists early.
 	for seed := int64(0); seed < 64; seed++ {
@@ -132,7 +132,7 @@ func TestObserveSurfacesDeadlocks(t *testing.T) {
 // that always deadlocks exhausts the attempt budget, but the partial
 // observation still carries every witnessed deadlock.
 func TestObservePartialResultOnFailure(t *testing.T) {
-	obs, err := analysis.Observe(certainDeadlock, igoodlock.Config{K: 10}, 1, 0)
+	obs, err := analysis.Observe(certainDeadlock, predict.Config{K: 10}, 1, 0)
 	if !errors.Is(err, analysis.ErrNoCompletedRun) {
 		t.Fatalf("err = %v", err)
 	}

@@ -2,9 +2,8 @@ package analysis
 
 import (
 	"dlfuzz/internal/campaign"
-	"dlfuzz/internal/hb"
-	"dlfuzz/internal/igoodlock"
 	"dlfuzz/internal/lockset"
+	"dlfuzz/internal/predict"
 	"dlfuzz/internal/sched"
 )
 
@@ -29,6 +28,11 @@ type CampaignOptions struct {
 	Seed int64
 	// MaxSteps bounds each execution; 0 means no bound.
 	MaxSteps int
+	// Finder selects the Phase I candidate finder run over the merged
+	// relation (and over each run's own relation for the saturation
+	// stats); nil means the default iGoodlock closure. Observation
+	// executions are identical for every finder.
+	Finder predict.CandidateFinder
 }
 
 // RunStats describes one observation run of a campaign, in run order.
@@ -74,8 +78,8 @@ type CampaignObservation struct {
 	PerRun []RunStats
 }
 
-// campaignRun is one run's outcome plus the per-run closure results the
-// saturation stats need. Per-run closures execute on the campaign
+// campaignRun is one run's outcome plus the per-run finder results the
+// saturation stats need. Per-run finder passes execute on the campaign
 // workers; only the key set travels to the merge.
 type campaignRun struct {
 	runOutcome
@@ -87,19 +91,53 @@ type campaignRun struct {
 // observation executions (each with its own retry loop, exactly like
 // Observe) across opts.Parallelism pooled workers, their dependency
 // relations folded into one merged relation in run order, and a single
-// sharded iGoodlock closure plus happens-before filter over the merge.
+// finder pass (sharded per opts.ClosureParallelism when the finder
+// supports it) plus happens-before filter over the merge.
 //
 // The campaign engine's seed-order merge makes the result deterministic:
 // for fixed options, the merged observation is identical at every
 // Parallelism and ClosureParallelism. Merging relations before the
-// closure — rather than uniting per-run cycle reports — lets chains mix
-// dependencies observed in different runs, so the merged cycle set is a
-// superset of every run's own (per-run counts are still reported in
-// PerRun for the saturation curve).
+// finder pass — rather than uniting per-run reports — lets chains mix
+// dependencies observed in different runs, so the merged candidate set
+// is a superset of every run's own (per-run counts are still reported
+// in PerRun for the saturation curve).
 //
 // ErrNoCompletedRun is returned only when no run completes; the partial
 // campaign still carries witnessed deadlocks and per-run stats.
-func ObserveMany(prog func(*sched.Ctx), cfg igoodlock.Config, opts CampaignOptions) (*CampaignObservation, error) {
+func ObserveMany(prog func(*sched.Ctx), cfg predict.Config, opts CampaignOptions) (*CampaignObservation, error) {
+	finder := opts.Finder
+	if finder == nil {
+		finder = predict.Default()
+	}
+	co, pobs, err := observeCampaign(prog, cfg, opts, finder, finder.Caps().NeedsHistory)
+	if err != nil {
+		return co, err
+	}
+	cfgMerged := cfg
+	cfgMerged.Parallelism = opts.ClosureParallelism
+	co.Candidates, co.Cycles, co.FalsePositives = partitionCandidates(finder.Find(pobs, cfgMerged))
+	return co, nil
+}
+
+// ObserveRelation runs the observation campaign and returns the merged
+// relation — with every run's synchronization history — *without* a
+// final finder pass. Bake-offs use it to observe a program once and run
+// every registered finder over the same merged observation; the
+// returned campaign carries the per-run stats (saturation computed with
+// opts.Finder) but empty Candidates/Cycles/FalsePositives.
+func ObserveRelation(prog func(*sched.Ctx), cfg predict.Config, opts CampaignOptions) (*CampaignObservation, *predict.Observation, error) {
+	finder := opts.Finder
+	if finder == nil {
+		finder = predict.Default()
+	}
+	return observeCampaign(prog, cfg, opts, finder, true)
+}
+
+// observeCampaign is the shared campaign body: observation runs,
+// per-run saturation stats via finder, and the run-order relation
+// merge. withHistory records each run's synchronization history on the
+// returned predict.Observation (keyed by run index, matching Dep.Run).
+func observeCampaign(prog func(*sched.Ctx), cfg predict.Config, opts CampaignOptions, finder predict.CandidateFinder, withHistory bool) (*CampaignObservation, *predict.Observation, error) {
 	runs := opts.Runs
 	if runs <= 0 {
 		runs = 1
@@ -107,12 +145,18 @@ func ObserveMany(prog func(*sched.Ctx), cfg igoodlock.Config, opts CampaignOptio
 	if cfg.K == 0 {
 		cfg.K = 10
 	}
+	cfgRun := cfg
+	cfgRun.Parallelism = 1 // single-run relations close serially
 
 	co := &CampaignObservation{Runs: runs}
 	co.PerRun = make([]RunStats, 0, runs)
 	merger := lockset.NewMerger(cfg.Abstraction, cfg.K)
 	seenKeys := make(map[string]bool)
 	stats := &Stats{}
+	var histories map[int]*predict.History
+	if withHistory {
+		histories = make(map[int]*predict.History, runs)
+	}
 
 	campaign.Run(runs, campaign.Options{Parallelism: opts.Parallelism},
 		func(i int) campaignRun {
@@ -121,19 +165,23 @@ func ObserveMany(prog func(*sched.Ctx), cfg igoodlock.Config, opts CampaignOptio
 			// cross-run shell reuse to matter.
 			cr := campaignRun{
 				runOutcome: observeRun(sched.NewPool(), prog,
-					opts.Seed+int64(i)*maxObserveAttempts, opts.MaxSteps),
+					opts.Seed+int64(i)*maxObserveAttempts, opts.MaxSteps, withHistory),
 			}
 			if !cr.completed {
 				return cr
 			}
-			// The run's own closure, for the saturation stats. Serial:
-			// single-run relations are small, and the campaign already
-			// runs these on parallel workers.
-			plausible, _ := hb.FilterCycles(igoodlock.Find(cr.deps, cfg))
+			// The run's own finder pass, for the saturation stats.
+			// Serial: single-run relations are small, and the campaign
+			// already runs these on parallel workers.
+			runObs := &predict.Observation{Deps: cr.deps}
+			if cr.hist != nil {
+				runObs.Histories = map[int]*predict.History{0: cr.hist}
+			}
+			plausible, _, _ := partitionCandidates(finder.Find(runObs, cfgRun))
 			cr.cycles = len(plausible)
 			cr.cycleKeys = make([]string, len(plausible))
 			for k, c := range plausible {
-				cr.cycleKeys[k] = c.Key()
+				cr.cycleKeys[k] = c.Cycle.Key()
 			}
 			return cr
 		},
@@ -168,6 +216,9 @@ func ObserveMany(prog func(*sched.Ctx), cfg igoodlock.Config, opts CampaignOptio
 					}
 				}
 				merger.Add(i, cr.deps)
+				if histories != nil && cr.hist != nil {
+					histories[i] = cr.hist
+				}
 			} else if co.Completed == 0 {
 				co.Seed = cr.seed // placeholder until a run completes
 			}
@@ -175,12 +226,10 @@ func ObserveMany(prog func(*sched.Ctx), cfg igoodlock.Config, opts CampaignOptio
 		})
 
 	if co.Completed == 0 {
-		return co, ErrNoCompletedRun
+		return co, nil, ErrNoCompletedRun
 	}
 	co.Stats = stats
 	co.RawDeps = merger.Raw()
 	co.Deps = merger.Merged()
-	all := igoodlock.FindParallel(merger.Deps(), cfg, opts.ClosureParallelism)
-	co.Cycles, co.FalsePositives = hb.FilterCycles(all)
-	return co, nil
+	return co, &predict.Observation{Deps: merger.Deps(), Histories: histories}, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"dlfuzz/internal/analysis"
 	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/predict"
 	"dlfuzz/internal/workloads"
 )
 
@@ -24,7 +25,7 @@ func cycleKeys(cycles []*igoodlock.Cycle) []string {
 // single-run Observe on every workload — same completing seed, same
 // relation size, same cycles in the same order.
 func TestObserveManySingleRunMatchesObserve(t *testing.T) {
-	cfg := igoodlock.DefaultConfig()
+	cfg := predict.DefaultConfig()
 	for _, w := range workloads.All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
@@ -64,7 +65,7 @@ func TestObserveManySingleRunMatchesObserve(t *testing.T) {
 // identical at observation parallelism 1 and 4 and at closure
 // parallelism 1 and 4, on every workload.
 func TestObserveManyParallelismInvariant(t *testing.T) {
-	cfg := igoodlock.DefaultConfig()
+	cfg := predict.DefaultConfig()
 	for _, w := range workloads.All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
@@ -93,7 +94,7 @@ func TestObserveManyParallelismInvariant(t *testing.T) {
 // computed through the legacy Observe at the campaign's per-run base
 // seed, so the comparison is against genuinely independent analyses.
 func TestObserveManySupersetOfEachRun(t *testing.T) {
-	cfg := igoodlock.DefaultConfig()
+	cfg := predict.DefaultConfig()
 	const runs = 4
 	for _, w := range workloads.All() {
 		w := w
@@ -144,7 +145,7 @@ func TestObserveManyBookkeeping(t *testing.T) {
 		t.Skip("lists workload absent")
 	}
 	const runs = 6
-	got, err := analysis.ObserveMany(w.Prog, igoodlock.DefaultConfig(),
+	got, err := analysis.ObserveMany(w.Prog, predict.DefaultConfig(),
 		analysis.CampaignOptions{Runs: runs, Seed: 1})
 	if err != nil {
 		t.Fatalf("ObserveMany: %v", err)
@@ -184,7 +185,7 @@ func TestObserveManyBookkeeping(t *testing.T) {
 // always deadlocks exhausts every run's budget, the campaign reports
 // ErrNoCompletedRun, and the witnessed deadlocks survive.
 func TestObserveManyNoCompletedRun(t *testing.T) {
-	got, err := analysis.ObserveMany(certainDeadlock, igoodlock.Config{K: 10},
+	got, err := analysis.ObserveMany(certainDeadlock, predict.Config{K: 10},
 		analysis.CampaignOptions{Runs: 2, Seed: 1})
 	if !errors.Is(err, analysis.ErrNoCompletedRun) {
 		t.Fatalf("err = %v", err)

@@ -31,6 +31,16 @@ type Options struct {
 	// measurement; leaving it nil keeps the engine's hot path untouched.
 	// Baseline campaigns do not report.
 	OnRun func(*obs.RunRecord)
+	// Ranks, when non-nil, orders ConfirmCycles' round-robin targeting
+	// by candidate rank: the seed budget is spent on higher-ranked
+	// cycles first, ties breaking by canonical cycle key ascending so
+	// the order — and therefore the whole report — stays deterministic
+	// at every Parallelism. It must be parallel to the cycles slice
+	// (ConfirmCycles panics otherwise); nil preserves input order.
+	// Strictly decreasing ranks are the identity order, so default
+	// finder reports are unchanged by ranking. Other campaign kinds
+	// ignore it.
+	Ranks []float64
 }
 
 // workers resolves Parallelism against the machine and the campaign

@@ -28,6 +28,7 @@ package campaign
 // order at any Parallelism setting.
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -116,11 +117,41 @@ type multiRun struct {
 	worker  int
 }
 
+// confirmOrder maps a round-robin slot to the candidate it targets:
+// the identity without ranks, otherwise candidate indexes sorted by
+// rank descending with ties broken by canonical cycle key ascending.
+// Keys are unique within a deduplicated report, so the order — and
+// every campaign built on it — is total and deterministic.
+func confirmOrder(cycles []*igoodlock.Cycle, ranks []float64) []int {
+	order := make([]int, len(cycles))
+	for i := range order {
+		order[i] = i
+	}
+	if ranks == nil {
+		return order
+	}
+	if len(ranks) != len(cycles) {
+		panic("campaign: Options.Ranks length does not match cycles")
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if ranks[ia] != ranks[ib] {
+			return ranks[ia] > ranks[ib]
+		}
+		return cycles[ia].Key() < cycles[ib].Key()
+	})
+	return order
+}
+
 // ConfirmCycles runs one campaign of ~runs executions against all
 // candidate cycles: campaign seed s runs the active checker biased
-// toward cycles[s % len(cycles)] with scheduler seed s / len(cycles),
-// and every confirmed deadlock is matched against every candidate and
-// credited wherever it matches. Each candidate receives exactly
+// toward the candidate in round-robin slot s % len(cycles) with
+// scheduler seed s / len(cycles), and every confirmed deadlock is
+// matched against every candidate and credited wherever it matches.
+// Slots map to candidates in input order, or in rank order when
+// Options.Ranks is set (see confirmOrder) — so a budget cut by
+// StopAfter is spent on high-ranked candidates first, while summaries
+// stay indexed by input order. Each candidate receives exactly
 // ceil(runs / len(cycles)) targeted runs. StopAfter counts targeted
 // reproductions (any candidate), in campaign seed order.
 func ConfirmCycles(prog func(*sched.Ctx), cycles []*igoodlock.Cycle, cfg fuzzer.Config, runs, maxSteps int, opts Options) *MultiSummary {
@@ -129,6 +160,7 @@ func ConfirmCycles(prog func(*sched.Ctx), cycles []*igoodlock.Cycle, cfg fuzzer.
 	if c == 0 || runs <= 0 {
 		return out
 	}
+	order := confirmOrder(cycles, opts.Ranks)
 	perTarget := (runs + c - 1) / c
 	var workerSeq atomic.Int32
 	timed := opts.OnRun != nil
@@ -136,7 +168,7 @@ func ConfirmCycles(prog func(*sched.Ctx), cycles []*igoodlock.Cycle, cfg fuzzer.
 		runner := fuzzer.NewRunner()
 		worker := int(workerSeq.Add(1)) - 1
 		return func(seed int) *multiRun {
-			target := seed % c
+			target := order[seed%c]
 			m := &multiRun{target: target, worker: worker}
 			if timed {
 				start := time.Now()

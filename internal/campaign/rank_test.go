@@ -1,0 +1,205 @@
+package campaign_test
+
+// Ranked confirm budget contract: Options.Ranks spends the seed budget
+// on high-ranked candidates first, ties break by canonical cycle key so
+// the targeting — and the whole report — stays deterministic, strictly
+// decreasing ranks are the identity order, and the parallel ≡ serial
+// byte-identity survives colliding ranks at every worker count.
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"dlfuzz/internal/campaign"
+	"dlfuzz/internal/harness"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/sched"
+	"dlfuzz/internal/workloads"
+)
+
+// multiCycleWorkload returns the lists workload's program and its
+// first three Phase I cycles — the shared multi-candidate scenario —
+// failing the test when fewer than min are reported.
+func multiCycleWorkload(t *testing.T, min int) (func(*sched.Ctx), []*igoodlock.Cycle) {
+	t.Helper()
+	w, ok := workloads.ByName("lists")
+	if !ok {
+		t.Fatal("lists workload missing")
+	}
+	p1 := phase1Cycles(t, w)
+	if len(p1.Cycles) < min {
+		t.Fatalf("lists reported %d cycles; need at least %d", len(p1.Cycles), min)
+	}
+	cycles := p1.Cycles
+	if len(cycles) > 3 {
+		cycles = cycles[:3]
+	}
+	return w.Prog, cycles
+}
+
+// renderMulti renders a MultiSummary deterministically; the width
+// regression asserts byte-identity of this string.
+func renderMulti(m *campaign.MultiSummary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "executions=%d deadlocked=%d unmatched=%d thrashes=%d yields=%d steps=%d\n",
+		m.Executions, m.Deadlocked, m.Unmatched, m.Thrashes, m.Yields, m.Steps)
+	for i := range m.Cycles {
+		c := &m.Cycles[i]
+		fmt.Fprintf(&b, "cycle %d: runs=%d deadlocked=%d reproduced=%d cross=%d exampleSeed=%d crossSeed=%d crossTarget=%d\n",
+			i, c.Runs, c.Deadlocked, c.Reproduced, c.CrossMatches,
+			c.ExampleSeed, c.CrossExampleSeed, c.CrossExampleTarget)
+	}
+	return b.String()
+}
+
+// checkRankedMatchesPermuted is the ranking semantics in one
+// equivalence: a ranked campaign over cycles must run the exact same
+// executions as an *unranked* campaign over the cycles pre-permuted
+// into that rank order, so each candidate's targeted slice is
+// identical between the two (the ranked summary stays indexed by input
+// position, the permuted one by slot).
+func checkRankedMatchesPermuted(t *testing.T, w func(*sched.Ctx), cycles []*igoodlock.Cycle, ranks []float64, order []int, runs int) {
+	t.Helper()
+	cfg := harness.DefaultVariant().Fuzzer
+	permuted := make([]*igoodlock.Cycle, len(cycles))
+	for slot, i := range order {
+		permuted[slot] = cycles[i]
+	}
+	ranked := campaign.ConfirmCycles(w, cycles, cfg, runs, 0, campaign.Options{Ranks: ranks})
+	plain := campaign.ConfirmCycles(w, permuted, cfg, runs, 0, campaign.Options{})
+	if ranked.Executions != plain.Executions || ranked.Deadlocked != plain.Deadlocked ||
+		ranked.Unmatched != plain.Unmatched || ranked.Steps != plain.Steps {
+		t.Errorf("ranked totals diverged from the permuted campaign:\nranked   %s\npermuted %s",
+			renderMulti(ranked), renderMulti(plain))
+	}
+	for slot, i := range order {
+		if !reflect.DeepEqual(ranked.Cycles[i].Summary, plain.Cycles[slot].Summary) {
+			t.Errorf("candidate %d (slot %d): ranked slice diverged from permuted campaign:\nranked   %+v\npermuted %+v",
+				i, slot, ranked.Cycles[i].Summary, plain.Cycles[slot].Summary)
+		}
+		if ranked.Cycles[i].CrossMatches != plain.Cycles[slot].CrossMatches {
+			t.Errorf("candidate %d (slot %d): cross-matches %d vs %d",
+				i, slot, ranked.Cycles[i].CrossMatches, plain.Cycles[slot].CrossMatches)
+		}
+	}
+}
+
+// TestConfirmCyclesRankedBudgetOrder pins the point of ranking:
+// ascending ranks invert the targeting order, making the ranked
+// campaign execution-for-execution identical to an unranked campaign
+// over the reversed candidate list.
+func TestConfirmCyclesRankedBudgetOrder(t *testing.T) {
+	w, cycles := multiCycleWorkload(t, 3)
+	ranks := make([]float64, len(cycles))
+	order := make([]int, len(cycles))
+	for i := range ranks {
+		ranks[i] = float64(i + 1)
+		order[i] = len(cycles) - 1 - i
+	}
+	checkRankedMatchesPermuted(t, w, cycles, ranks, order, 2*len(cycles))
+}
+
+// TestConfirmCyclesRankTiesBreakByKey pins the tie-break: with every
+// rank colliding, slots map to candidates in canonical-key order, not
+// input order — the campaign equals an unranked one over the
+// key-sorted list.
+func TestConfirmCyclesRankTiesBreakByKey(t *testing.T) {
+	w, cycles := multiCycleWorkload(t, 3)
+	// Reverse the input so key order and input order disagree (the
+	// closure reports keys in a deterministic canonical order).
+	rev := make([]*igoodlock.Cycle, len(cycles))
+	for i, c := range cycles {
+		rev[len(cycles)-1-i] = c
+	}
+	ranks := make([]float64, len(rev))
+	for i := range ranks {
+		ranks[i] = 7 // all colliding
+	}
+	order := make([]int, len(rev))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return rev[order[a]].Key() < rev[order[b]].Key()
+	})
+	sorted := false
+	for i := 1; i < len(order); i++ {
+		if order[i] != order[i-1]+1 {
+			sorted = true
+		}
+	}
+	if !sorted {
+		t.Fatal("reversed cycle list is still in key order; the tie-break is unobservable")
+	}
+	checkRankedMatchesPermuted(t, w, rev, ranks, order, 2*len(rev))
+}
+
+// TestConfirmCyclesDecreasingRanksAreIdentity pins the byte-identity
+// bridge the default finder relies on: strictly decreasing ranks
+// reproduce the unranked campaign exactly.
+func TestConfirmCyclesDecreasingRanksAreIdentity(t *testing.T) {
+	w, cycles := multiCycleWorkload(t, 3)
+	cfg := harness.DefaultVariant().Fuzzer
+	ranks := make([]float64, len(cycles))
+	for i := range ranks {
+		ranks[i] = float64(len(cycles) - i)
+	}
+	plain := campaign.ConfirmCycles(w, cycles, cfg, 24, 0, campaign.Options{})
+	ranked := campaign.ConfirmCycles(w, cycles, cfg, 24, 0, campaign.Options{Ranks: ranks})
+	if !reflect.DeepEqual(plain, ranked) {
+		t.Errorf("decreasing ranks changed the campaign:\nplain  %s\nranked %s",
+			renderMulti(plain), renderMulti(ranked))
+	}
+}
+
+// TestConfirmCyclesCollidingRanksParallelismInvariant is the satellite
+// regression: with colliding ranks forcing the key tie-break, the full
+// report must be byte-identical at widths 1, 2 and 4.
+func TestConfirmCyclesCollidingRanksParallelismInvariant(t *testing.T) {
+	w, cycles := multiCycleWorkload(t, 3)
+	cfg := harness.DefaultVariant().Fuzzer
+	// Two colliding pairs when there are 3+ cycles: ranks 1,1,2,2,...
+	ranks := make([]float64, len(cycles))
+	for i := range ranks {
+		ranks[i] = float64(1 + i/2)
+	}
+	render := func(width int) string {
+		m := campaign.ConfirmCycles(w, cycles, cfg, 48, 0,
+			campaign.Options{Parallelism: width, Ranks: ranks})
+		return renderMulti(m)
+	}
+	want := render(1)
+	for _, width := range []int{2, 4} {
+		if got := render(width); got != want {
+			t.Errorf("width %d diverged from serial:\nserial %s\nwidth%d %s", width, want, width, got)
+		}
+	}
+	// The slot order itself is rank-descending with the key tie-break
+	// within each rank class; pin it with the permutation equivalence.
+	order := make([]int, len(cycles))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if ranks[order[a]] != ranks[order[b]] {
+			return ranks[order[a]] > ranks[order[b]]
+		}
+		return cycles[order[a]].Key() < cycles[order[b]].Key()
+	})
+	checkRankedMatchesPermuted(t, w, cycles, ranks, order, 2*len(cycles))
+}
+
+// TestConfirmCyclesRanksLengthMismatchPanics pins the misuse guard.
+func TestConfirmCyclesRanksLengthMismatchPanics(t *testing.T) {
+	w, cycles := multiCycleWorkload(t, 2)
+	cfg := harness.DefaultVariant().Fuzzer
+	defer func() {
+		if recover() == nil {
+			t.Error("short Ranks slice did not panic")
+		}
+	}()
+	campaign.ConfirmCycles(w, cycles, cfg, 4, 0, campaign.Options{Ranks: []float64{1}})
+}

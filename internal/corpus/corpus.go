@@ -16,6 +16,7 @@ import (
 	"dlfuzz/internal/lang"
 	"dlfuzz/internal/lang/gen"
 	"dlfuzz/internal/object"
+	"dlfuzz/internal/predict"
 )
 
 // ManifestName is the manifest file name within a corpus directory.
@@ -160,7 +161,7 @@ func Observe(src string, spec FindSpec) (co *analysis.CampaignObservation, err e
 func observeAt(prog *lang.Program, spec FindSpec, width int) (*analysis.CampaignObservation, error) {
 	body := lang.NewInterp(prog, nil).Main()
 	return analysis.ObserveMany(body,
-		igoodlock.Config{Abstraction: object.ExecIndex, K: spec.K},
+		predict.Config{Abstraction: object.ExecIndex, K: spec.K},
 		analysis.CampaignOptions{
 			Runs:               spec.Runs,
 			Parallelism:        width,

@@ -1,0 +1,225 @@
+package harness
+
+// Finder bake-off: observe every corpus program once, then run every
+// registered Phase I candidate finder over the same merged relation and
+// confirm each finder's candidates with Phase II. The report compares
+// finders on recall (candidates found), precision (Phase II confirmed
+// vs unconfirmed) and closure cost, which is how the sound finder's
+// "every candidate confirms" claim is checked empirically.
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dlfuzz/internal/analysis"
+	"dlfuzz/internal/campaign"
+	"dlfuzz/internal/corpus"
+	"dlfuzz/internal/fuzzer"
+	"dlfuzz/internal/hb"
+	"dlfuzz/internal/lang"
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/predict"
+)
+
+// BakeoffOptions sizes one finder bake-off.
+type BakeoffOptions struct {
+	// ConfirmRuns is the Phase II budget per candidate (default 5): a
+	// finder reporting n candidates gets one ConfirmCycles campaign of
+	// n*ConfirmRuns executions per program.
+	ConfirmRuns int
+	// MaxEntries caps the corpus entries used, in manifest order
+	// (0 = all); the smoke target uses a small prefix.
+	MaxEntries int
+	// Parallelism is the Phase II campaign worker count (0 = one per
+	// core). Observation runs are serial regardless, so CLF runtime
+	// errors stay recoverable; results are identical at every setting.
+	Parallelism int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+// BakeoffEntry is one finder's result on one corpus program.
+type BakeoffEntry struct {
+	// File is the corpus program file name.
+	File string `json:"file"`
+	// Candidates counts the finder's plausible candidates on the merged
+	// relation (after the happens-before filter); Confirmed counts those
+	// Phase II reproduced, Unconfirmed the rest.
+	Candidates  int `json:"candidates"`
+	Confirmed   int `json:"confirmed"`
+	Unconfirmed int `json:"unconfirmed"`
+	// FilteredHB counts candidates the happens-before filter rejected
+	// before Phase II (provably false positives).
+	FilteredHB int `json:"filteredHb"`
+	// ClosureUs is the finder's wall time over the merged relation, in
+	// microseconds.
+	ClosureUs int64 `json:"closureUs"`
+}
+
+// BakeoffFinder aggregates one finder across the whole corpus.
+type BakeoffFinder struct {
+	// Finder is the finder's registered name; Sound mirrors its
+	// Caps().Sound claim.
+	Finder string `json:"finder"`
+	Sound  bool   `json:"sound"`
+	// Candidates/Confirmed/Unconfirmed/FilteredHB are totals over
+	// Entries.
+	Candidates  int `json:"candidates"`
+	Confirmed   int `json:"confirmed"`
+	Unconfirmed int `json:"unconfirmed"`
+	FilteredHB  int `json:"filteredHb"`
+	// FalsePositiveRate is Unconfirmed / Candidates (0 when the finder
+	// reported nothing): the fraction of predictions Phase II could not
+	// reproduce within its budget.
+	FalsePositiveRate float64 `json:"falsePositiveRate"`
+	// ClosureMs is the total finder wall time across entries, in
+	// milliseconds.
+	ClosureMs float64 `json:"closureMs"`
+	// Entries holds the per-program breakdown, in manifest order.
+	Entries []BakeoffEntry `json:"entries"`
+}
+
+// Bakeoff is the full bake-off report (the BENCH_bakeoff.json schema).
+type Bakeoff struct {
+	// Corpus is the corpus directory; Entries the number of programs
+	// used; ConfirmRuns the per-candidate Phase II budget.
+	Corpus      string `json:"corpus"`
+	Entries     int    `json:"entries"`
+	ConfirmRuns int    `json:"confirmRuns"`
+	// Finders has one aggregate per registered finder, in registration
+	// order (iGoodlock first).
+	Finders []BakeoffFinder `json:"finders"`
+}
+
+// Finder returns the aggregate for the named finder (nil if absent).
+func (b *Bakeoff) Finder(name string) *BakeoffFinder {
+	for i := range b.Finders {
+		if b.Finders[i].Finder == name {
+			return &b.Finders[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON marshals the report into path (indented, trailing newline).
+func (b *Bakeoff) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RunBakeoff loads the corpus manifest in dir, observes each program
+// once under the manifest's find spec (serially, with synchronization
+// histories recorded), and runs every registered finder over the same
+// merged relations: per finder and program it times the finder pass,
+// partitions candidates with the happens-before filter, and confirms
+// the survivors with one rank-ordered Phase II campaign of
+// ConfirmRuns executions per candidate.
+func RunBakeoff(dir string, opts BakeoffOptions) (*Bakeoff, error) {
+	m, err := corpus.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	if opts.ConfirmRuns <= 0 {
+		opts.ConfirmRuns = 5
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	entries := m.Entries
+	if opts.MaxEntries > 0 && len(entries) > opts.MaxEntries {
+		entries = entries[:opts.MaxEntries]
+	}
+	spec := m.Find.WithDefaults()
+	cfg := predict.Config{Abstraction: object.ExecIndex, K: spec.K}
+	fc := fuzzer.Config{Abstraction: object.ExecIndex, K: spec.K, UseContext: true, YieldOpt: true}
+
+	out := &Bakeoff{Corpus: dir, ConfirmRuns: opts.ConfirmRuns}
+	finders := predict.All()
+	for _, f := range finders {
+		out.Finders = append(out.Finders, BakeoffFinder{
+			Finder: f.Name(),
+			Sound:  f.Caps().Sound,
+		})
+	}
+
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.File))
+		if err != nil {
+			return nil, err
+		}
+		prog, err := lang.Parse(corpus.AnalysisName, string(data))
+		if err != nil {
+			return nil, err
+		}
+		body := lang.NewInterp(prog, nil).Main()
+		// One observation per program, histories always recorded, so
+		// every finder sees the identical merged relation. Serial: the
+		// committed corpus is validated runtime-error free, but serial
+		// observation keeps a stray panic recoverable in lang.
+		_, pobs, err := analysis.ObserveRelation(body, cfg, analysis.CampaignOptions{
+			Runs:        spec.Runs,
+			Parallelism: 1,
+			Seed:        spec.Seed,
+			MaxSteps:    spec.MaxSteps,
+		})
+		if err != nil {
+			logf("%s: skipped (%v)", e.File, err)
+			continue
+		}
+		out.Entries++
+		for fi, f := range finders {
+			bf := &out.Finders[fi]
+			start := time.Now()
+			cands := f.Find(pobs, cfg)
+			elapsed := time.Since(start)
+			var kept []*predict.Candidate
+			filtered := 0
+			for _, c := range cands {
+				if hb.ProvablyFalse(c.Cycle) {
+					filtered++
+					continue
+				}
+				kept = append(kept, c)
+			}
+			be := BakeoffEntry{
+				File:       e.File,
+				Candidates: len(kept),
+				FilteredHB: filtered,
+				ClosureUs:  elapsed.Microseconds(),
+			}
+			if len(kept) > 0 {
+				sum := campaign.ConfirmCycles(body, predict.Cycles(kept), fc,
+					opts.ConfirmRuns*len(kept), spec.MaxSteps,
+					campaign.Options{Parallelism: opts.Parallelism, Ranks: predict.Ranks(kept)})
+				for i := range sum.Cycles {
+					if sum.Cycles[i].Confirmed() {
+						be.Confirmed++
+					}
+				}
+				be.Unconfirmed = be.Candidates - be.Confirmed
+			}
+			bf.Candidates += be.Candidates
+			bf.Confirmed += be.Confirmed
+			bf.Unconfirmed += be.Unconfirmed
+			bf.FilteredHB += be.FilteredHB
+			bf.ClosureMs += float64(elapsed.Nanoseconds()) / 1e6
+			bf.Entries = append(bf.Entries, be)
+			logf("%s %s: %d candidates, %d confirmed, %d unconfirmed (%.2fms closure)",
+				e.File, bf.Finder, be.Candidates, be.Confirmed, be.Unconfirmed,
+				float64(elapsed.Nanoseconds())/1e6)
+		}
+	}
+	for i := range out.Finders {
+		bf := &out.Finders[i]
+		if bf.Candidates > 0 {
+			bf.FalsePositiveRate = float64(bf.Unconfirmed) / float64(bf.Candidates)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package harness_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dlfuzz/internal/harness"
+	"dlfuzz/internal/predict"
+	psync "dlfuzz/internal/predict/sync"
+)
+
+const corpusDir = "../../testdata/corpus"
+
+// TestRunBakeoffSmoke runs both registered finders over a corpus prefix
+// and checks the report's structural invariants: every registered
+// finder appears with one entry per program, the sound finder's
+// candidate set is a subset of iGoodlock's per program (it prunes the
+// same closure), and — the soundness claim's empirical check — every
+// sound-finder candidate is confirmed by Phase II.
+func TestRunBakeoffSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bakeoff campaign in -short mode")
+	}
+	b, err := harness.RunBakeoff(corpusDir, harness.BakeoffOptions{
+		ConfirmRuns: 5,
+		MaxEntries:  5,
+		Log:         t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Entries == 0 {
+		t.Fatal("no corpus entries observed")
+	}
+	if len(b.Finders) != len(predict.Names()) {
+		t.Fatalf("finders in report = %d, registered = %d", len(b.Finders), len(predict.Names()))
+	}
+	ig := b.Finder(predict.DefaultFinder)
+	sf := b.Finder(psync.Name)
+	if ig == nil || sf == nil {
+		t.Fatalf("report misses a finder: igoodlock=%v sync=%v", ig, sf)
+	}
+	if !sf.Sound || ig.Sound {
+		t.Errorf("soundness flags: igoodlock=%t sync=%t", ig.Sound, sf.Sound)
+	}
+	if len(ig.Entries) != b.Entries || len(sf.Entries) != b.Entries {
+		t.Fatalf("per-entry rows: igoodlock=%d sync=%d entries=%d",
+			len(ig.Entries), len(sf.Entries), b.Entries)
+	}
+	for i := range ig.Entries {
+		ie, se := ig.Entries[i], sf.Entries[i]
+		if ie.File != se.File {
+			t.Fatalf("entry %d: file mismatch %s vs %s", i, ie.File, se.File)
+		}
+		if se.Candidates > ie.Candidates {
+			t.Errorf("%s: sound finder reports %d candidates, iGoodlock only %d",
+				se.File, se.Candidates, ie.Candidates)
+		}
+	}
+	if ig.Candidates == 0 {
+		t.Error("iGoodlock found no candidates on the corpus prefix")
+	}
+	if sf.Unconfirmed != 0 {
+		t.Errorf("sound finder has %d unconfirmed candidates (FP rate %.3f); soundness claim violated",
+			sf.Unconfirmed, sf.FalsePositiveRate)
+	}
+
+	// The report must round-trip through its JSON schema.
+	path := filepath.Join(t.TempDir(), "bakeoff.json")
+	if err := b.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	var back harness.Bakeoff
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.ConfirmRuns != b.ConfirmRuns || len(back.Finders) != len(b.Finders) {
+		t.Error("JSON round-trip lost fields")
+	}
+}

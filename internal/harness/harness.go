@@ -11,6 +11,7 @@ import (
 	"dlfuzz/internal/fuzzer"
 	"dlfuzz/internal/igoodlock"
 	"dlfuzz/internal/object"
+	"dlfuzz/internal/predict"
 	"dlfuzz/internal/sched"
 )
 
@@ -29,12 +30,13 @@ var ErrNoCompletedRun = analysis.ErrNoCompletedRun
 
 // RunPhase1 observes the program under the plain random scheduler with
 // dependency recording and happens-before tracking sharing one pipeline
-// execution, then runs iGoodlock. Seeds from seed upward are tried until
-// an execution completes; attempts that deadlock have already found a
-// real deadlock, which is preserved on the result (ObservedDeadlocks)
-// rather than discarded. On ErrNoCompletedRun the returned result is
-// non-nil and carries the witnessed deadlocks.
-func RunPhase1(prog func(*sched.Ctx), cfg igoodlock.Config, seed int64, maxSteps int) (*Phase1Result, error) {
+// execution, then runs the default candidate finder (iGoodlock). Seeds
+// from seed upward are tried until an execution completes; attempts
+// that deadlock have already found a real deadlock, which is preserved
+// on the result (ObservedDeadlocks) rather than discarded. On
+// ErrNoCompletedRun the returned result is non-nil and carries the
+// witnessed deadlocks.
+func RunPhase1(prog func(*sched.Ctx), cfg predict.Config, seed int64, maxSteps int) (*Phase1Result, error) {
 	start := time.Now()
 	obs, err := analysis.Observe(prog, cfg, seed, maxSteps)
 	res := &Phase1Result{Observation: *obs, Elapsed: time.Since(start)}
@@ -66,12 +68,13 @@ func (c *Phase1Campaign) NewCyclesByRun() []int {
 
 // RunPhase1Campaign runs opts.Runs observation executions across pooled
 // workers, merges their dependency relations in run order, and runs one
-// sharded iGoodlock pass over the merged relation. The merged result is
-// identical at every opts.Parallelism and opts.ClosureParallelism; with
-// opts.Runs <= 1 it matches RunPhase1. On ErrNoCompletedRun (no run
-// completed) the returned campaign still carries witnessed deadlocks
-// and per-run stats.
-func RunPhase1Campaign(prog func(*sched.Ctx), cfg igoodlock.Config, opts analysis.CampaignOptions) (*Phase1Campaign, error) {
+// finder pass (opts.Finder; nil means the default iGoodlock closure,
+// sharded per opts.ClosureParallelism) over the merged relation. The
+// merged result is identical at every opts.Parallelism and
+// opts.ClosureParallelism; with opts.Runs <= 1 it matches RunPhase1. On
+// ErrNoCompletedRun (no run completed) the returned campaign still
+// carries witnessed deadlocks and per-run stats.
+func RunPhase1Campaign(prog func(*sched.Ctx), cfg predict.Config, opts analysis.CampaignOptions) (*Phase1Campaign, error) {
 	start := time.Now()
 	co, err := analysis.ObserveMany(prog, cfg, opts)
 	return &Phase1Campaign{CampaignObservation: *co, Elapsed: time.Since(start)}, err
@@ -153,7 +156,7 @@ func RunBaselineCampaign(prog func(*sched.Ctx), runs, maxSteps int, opts campaig
 type Variant struct {
 	Name     string
 	Fuzzer   fuzzer.Config
-	Goodlock igoodlock.Config
+	Goodlock predict.Config
 }
 
 // Variants returns the paper's five variants in Figure 2 order.
@@ -164,7 +167,7 @@ func Variants() []Variant {
 			Fuzzer: fuzzer.Config{
 				Abstraction: abs, K: 10, UseContext: ctx, YieldOpt: yield,
 			},
-			Goodlock: igoodlock.Config{Abstraction: abs, K: 10},
+			Goodlock: predict.Config{Abstraction: abs, K: 10},
 		}
 	}
 	return []Variant{

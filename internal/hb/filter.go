@@ -18,7 +18,7 @@ import "dlfuzz/internal/igoodlock"
 // as potentially concurrent.
 func FilterCycles(cycles []*igoodlock.Cycle) (plausible, falsePositives []*igoodlock.Cycle) {
 	for _, c := range cycles {
-		if provablyFalse(c) {
+		if ProvablyFalse(c) {
 			falsePositives = append(falsePositives, c)
 		} else {
 			plausible = append(plausible, c)
@@ -27,9 +27,11 @@ func FilterCycles(cycles []*igoodlock.Cycle) (plausible, falsePositives []*igood
 	return plausible, falsePositives
 }
 
-// provablyFalse reports whether some pair of the cycle's acquire events
-// is ordered by must-happens-before.
-func provablyFalse(c *igoodlock.Cycle) bool {
+// ProvablyFalse reports whether some pair of the cycle's acquire events
+// is ordered by must-happens-before — the per-cycle predicate behind
+// FilterCycles, exported so finder-agnostic candidate partitioning (and
+// sound finders' prefilters) share exactly one definition.
+func ProvablyFalse(c *igoodlock.Cycle) bool {
 	for i := range c.Components {
 		di := c.Components[i].Dep
 		vi := VC(di.VC)

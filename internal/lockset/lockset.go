@@ -39,6 +39,11 @@ type Dep struct {
 	// ClockSource was attached to the recorder; nil otherwise. Used by
 	// the happens-before cycle filter.
 	VC []uint64
+	// Pos is the acquire event's global sequence number in its run
+	// (sched.Ev.Seq), 0 when unknown (e.g. synthetic relations). Sound
+	// finders use it to locate the acquire in the run's recorded
+	// synchronization history (predict.History shares the numbering).
+	Pos uint64
 
 	// heldIDs is Held's ids sorted ascending and heldMask a 64-bit
 	// membership filter over id&63, built once by index() so that Holds
@@ -186,6 +191,7 @@ func (r *Recorder) OnEvent(ev sched.Ev) {
 		Held:      ev.LockSet,
 		Lock:      ev.Obj,
 		Context:   ev.Context,
+		Pos:       ev.Seq,
 	}
 	d.index()
 	if r.clocks != nil {

@@ -1,0 +1,51 @@
+package predict
+
+import (
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/sched"
+)
+
+// Ev is one recorded synchronization event of an observation run, in
+// global order. Seq is the scheduler's global event sequence number —
+// the same numbering lockset.Dep.Pos uses, so a dependency's acquire can
+// be located in the history it was recorded from.
+type Ev struct {
+	Seq    uint64
+	Kind   event.Kind
+	Thread event.TID
+	// Obj is the monitor or latch object id (0 when the event has none).
+	Obj uint64
+	// Target is the spawned/joined thread for Spawn/Join and the woken
+	// waiter for Notify (event.NoThread when a notify found no waiter).
+	// Meaningful only for those kinds.
+	Target event.TID
+}
+
+// History records the synchronization skeleton of one run: acquires,
+// releases, waits, notifies, latch signal/await, spawn/join/exit. It
+// implements sched.Observer and is attached to observation runs when the
+// selected finder's Caps().NeedsHistory — a sound predictor replays
+// these events (never the full step stream) to build its witness
+// reordering.
+type History struct {
+	Events []Ev
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+// OnEvent implements sched.Observer.
+func (h *History) OnEvent(ev sched.Ev) {
+	switch ev.Kind {
+	case event.KindAcquire, event.KindRelease, event.KindWait,
+		event.KindNotify, event.KindSignal, event.KindAwait,
+		event.KindSpawn, event.KindJoin, event.KindExit:
+	default:
+		return
+	}
+	e := Ev{Seq: ev.Seq, Kind: ev.Kind, Thread: ev.Thread, Target: ev.Target}
+	if ev.Obj != nil {
+		e.Obj = ev.Obj.ID
+	}
+	h.Events = append(h.Events, e)
+}

@@ -1,0 +1,32 @@
+package predict
+
+import "dlfuzz/internal/igoodlock"
+
+// goodlockFinder is the paper's Phase I — the iGoodlock transitive
+// closure — behind the CandidateFinder interface. It is a thin wrapper:
+// cycle ordering, MaxChains truncation and report bytes are exactly
+// igoodlock.Find/FindParallel's (the finder-parity differential test
+// pins this down).
+type goodlockFinder struct{}
+
+func init() { Register(goodlockFinder{}) }
+
+// Name implements CandidateFinder.
+func (goodlockFinder) Name() string { return DefaultFinder }
+
+// Caps implements CandidateFinder: iGoodlock is unsound (it may report
+// cycles no execution can realize) and needs no history.
+func (goodlockFinder) Caps() Caps { return Caps{} }
+
+// Find runs the closure. Ranks are strictly decreasing in discovery
+// order, so a ranked Phase II budget targets candidates exactly in
+// report order — which keeps default-pipeline output byte-identical to
+// the pre-interface code.
+func (goodlockFinder) Find(obs *Observation, cfg Config) []*Candidate {
+	all := igoodlock.FindParallel(obs.Deps, cfg.Closure(), cfg.Parallelism)
+	out := make([]*Candidate, len(all))
+	for i, c := range all {
+		out[i] = &Candidate{Cycle: c, Rank: float64(len(all) - i), Finder: DefaultFinder}
+	}
+	return out
+}

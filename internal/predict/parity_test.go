@@ -1,0 +1,135 @@
+package predict_test
+
+// Finder parity differential: the extracted iGoodlock finder must be a
+// drop-in for the legacy closure entry points. For every workload and
+// every committed corpus program, at several MaxChains budgets, the
+// default finder's cycles must be deeply equal AND render
+// byte-identically to igoodlock.Find and igoodlock.FindParallel over
+// the same relation — the refactor moved the closure behind the
+// CandidateFinder seam without changing a single reported byte.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dlfuzz/internal/analysis"
+	"dlfuzz/internal/corpus"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/lang"
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/predict"
+	"dlfuzz/internal/sched"
+	"dlfuzz/internal/workloads"
+)
+
+const corpusDir = "../../testdata/corpus"
+
+// maxChainsBudgets covers a starved, a small and an ample closure.
+var maxChainsBudgets = []int{1, 7, 100}
+
+// renderCycles renders a cycle list the way the CLIs print them; the
+// differential asserts byte-identity of this rendering.
+func renderCycles(cycles []*igoodlock.Cycle) string {
+	var b strings.Builder
+	for _, c := range cycles {
+		b.WriteString(c.String())
+		b.WriteString("\n")
+		b.WriteString(c.Key())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// checkParity runs the differential over one observation.
+func checkParity(t *testing.T, name string, pobs *predict.Observation) {
+	t.Helper()
+	def := predict.Default()
+	for _, maxChains := range maxChainsBudgets {
+		cfg := predict.Config{Abstraction: object.ExecIndex, K: 10, MaxChains: maxChains}
+		legacy := igoodlock.Find(pobs.Deps, cfg.Closure())
+		for _, width := range []int{1, 4} {
+			if par := igoodlock.FindParallel(pobs.Deps, cfg.Closure(), width); !reflect.DeepEqual(par, legacy) {
+				t.Fatalf("%s maxChains=%d: FindParallel width %d diverged from Find", name, maxChains, width)
+			}
+		}
+		cfgFinder := cfg
+		cfgFinder.Parallelism = 4
+		cands := def.Find(pobs, cfgFinder)
+		got := predict.Cycles(cands)
+		if len(got) != 0 || len(legacy) != 0 {
+			if !reflect.DeepEqual(got, legacy) {
+				t.Errorf("%s maxChains=%d: finder cycles differ from legacy closure (%d vs %d cycles)",
+					name, maxChains, len(got), len(legacy))
+				continue
+			}
+		}
+		if gb, lb := renderCycles(got), renderCycles(legacy); gb != lb {
+			t.Errorf("%s maxChains=%d: renderings differ:\nfinder:\n%s\nlegacy:\n%s",
+				name, maxChains, gb, lb)
+		}
+		// The default finder's ranks must be strictly decreasing (the
+		// identity order for ranked targeting) and carry its name.
+		for i, c := range cands {
+			if c.Finder != predict.DefaultFinder {
+				t.Errorf("%s: candidate %d finder = %q", name, i, c.Finder)
+			}
+			if i > 0 && cands[i].Rank >= cands[i-1].Rank {
+				t.Errorf("%s: ranks not strictly decreasing at %d", name, i)
+			}
+		}
+	}
+}
+
+// observeProg builds the finder input for one program.
+func observeProg(t *testing.T, prog func(*sched.Ctx), runs int, seed int64, maxSteps int) *predict.Observation {
+	t.Helper()
+	_, pobs, err := analysis.ObserveRelation(prog, predict.DefaultConfig(), analysis.CampaignOptions{
+		Runs: runs, Parallelism: 1, Seed: seed, MaxSteps: maxSteps,
+	})
+	if err != nil {
+		t.Fatalf("observation: %v", err)
+	}
+	return pobs
+}
+
+// TestGoodlockFinderMatchesLegacyWorkloads runs the differential over
+// every Table 1 workload.
+func TestGoodlockFinderMatchesLegacyWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			checkParity(t, w.Name, observeProg(t, w.Prog, 4, 1, 0))
+		})
+	}
+}
+
+// TestGoodlockFinderMatchesLegacyCorpus runs the differential over
+// every committed corpus program under the manifest's find spec.
+func TestGoodlockFinderMatchesLegacyCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus differential in -short mode")
+	}
+	m, err := corpus.Load(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := m.Find.WithDefaults()
+	for _, e := range m.Entries {
+		e := e
+		t.Run(e.File, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join(corpusDir, e.File))
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := lang.Parse(corpus.AnalysisName, string(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := lang.NewInterp(prog, nil).Main()
+			checkParity(t, e.File, observeProg(t, body, spec.Runs, spec.Seed, spec.MaxSteps))
+		})
+	}
+}

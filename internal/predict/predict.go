@@ -1,0 +1,134 @@
+// Package predict is the pluggable Phase I seam: a CandidateFinder
+// turns one observation (a lock dependency relation, optionally with
+// per-run synchronization histories) into ranked deadlock candidates
+// for the Phase II confirmer.
+//
+// The paper's iGoodlock closure is the first registered finder and the
+// default; predict/sync registers a sound predictor in the spirit of
+// sync-preserving deadlock prediction (Tunç et al., see PAPERS.md).
+// Finders are selected by name (see Register/ByName), so the analysis
+// pipeline, the harness and the CLIs stay agnostic about which
+// prediction algorithm runs.
+package predict
+
+import (
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/lockset"
+	"dlfuzz/internal/object"
+)
+
+// Config configures one finder run. It is a superset of the iGoodlock
+// closure config (see Closure) so every finder shares one knob set and
+// the CLIs keep their existing flags.
+type Config struct {
+	// Abstraction and K configure object identification.
+	Abstraction object.Abstraction
+	K           int
+	// MaxLen bounds reported cycle length (0 = unbounded).
+	MaxLen int
+	// MaxChains bounds the closure's explored chain count (0 = the
+	// iGoodlock default budget).
+	MaxChains int
+	// Parallelism shards the closure when the finder supports it: 0
+	// means one worker per core, 1 means serial. Candidate reports are
+	// byte-identical at every setting.
+	Parallelism int
+}
+
+// DefaultConfig returns the configuration the paper's experiments use
+// (execution-indexing abstraction, k = 10), mirroring
+// igoodlock.DefaultConfig at the finder layer.
+func DefaultConfig() Config {
+	return Config{Abstraction: object.ExecIndex, K: 10}
+}
+
+// Closure lowers the config to the iGoodlock closure's own config.
+func (c Config) Closure() igoodlock.Config {
+	return igoodlock.Config{
+		Abstraction: c.Abstraction,
+		K:           c.K,
+		MaxLen:      c.MaxLen,
+		MaxChains:   c.MaxChains,
+	}
+}
+
+// Candidate is one potential deadlock with its confirm-budget rank.
+type Candidate struct {
+	// Cycle is the potential deadlock cycle (the Phase II target type).
+	Cycle *igoodlock.Cycle
+	// Rank orders the Phase II confirm budget: higher ranks are targeted
+	// first. Every finder must emit strictly decreasing ranks in report
+	// order unless it has a better signal, so ranked targeting defaults
+	// to report order and equal ranks break ties by canonical cycle key
+	// (see campaign.Options.Ranks).
+	Rank float64
+	// Finder is the Name() of the finder that emitted the candidate.
+	Finder string
+}
+
+// Cycles projects the cycle column out of a candidate list, in order.
+func Cycles(cands []*Candidate) []*igoodlock.Cycle {
+	out := make([]*igoodlock.Cycle, len(cands))
+	for i, c := range cands {
+		out[i] = c.Cycle
+	}
+	return out
+}
+
+// Ranks projects the rank column out of a candidate list, in order —
+// the shape campaign.Options.Ranks takes.
+func Ranks(cands []*Candidate) []float64 {
+	out := make([]float64, len(cands))
+	for i, c := range cands {
+		out[i] = c.Rank
+	}
+	return out
+}
+
+// Caps describes what a finder needs and guarantees.
+type Caps struct {
+	// Sound means every reported candidate is realizable from the
+	// observed trace (modulo data flow outside the recorded
+	// synchronization events), so Phase II is expected to confirm it.
+	Sound bool
+	// NeedsHistory means the finder requires Observation.Histories; the
+	// analysis pipeline attaches a History observer to observation runs
+	// only when the selected finder asks for it.
+	NeedsHistory bool
+}
+
+// Observation is a finder's input: the (possibly multi-run merged) lock
+// dependency relation plus optional per-run synchronization histories.
+//
+// It lives here rather than on the analysis package because analysis
+// selects finders (analysis → predict); the analysis Observation is the
+// pipeline's *output* and embeds this package's candidates instead.
+type Observation struct {
+	// Deps is the dependency relation in observation order; merged
+	// relations tag each dependency with its run (Dep.Run).
+	Deps []*lockset.Dep
+	// Histories maps Dep.Run to that run's recorded synchronization
+	// events; nil when no finder asked for histories.
+	Histories map[int]*History
+}
+
+// History returns the history of run (nil when not recorded).
+func (o *Observation) History(run int) *History {
+	if o == nil || o.Histories == nil {
+		return nil
+	}
+	return o.Histories[run]
+}
+
+// CandidateFinder is one Phase I prediction algorithm.
+type CandidateFinder interface {
+	// Name identifies the finder for -finder flags and reports.
+	Name() string
+	// Caps declares the finder's requirements and guarantees.
+	Caps() Caps
+	// Find reports candidates over one observation. Implementations
+	// must be pure (safe for concurrent calls) and deterministic: the
+	// same observation and config produce the same candidates in the
+	// same order at every Parallelism setting.
+	Find(obs *Observation, cfg Config) []*Candidate
+}

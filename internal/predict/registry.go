@@ -1,0 +1,64 @@
+package predict
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultFinder names the finder used when none is selected: the
+// iGoodlock closure, the paper's Phase I.
+const DefaultFinder = "igoodlock"
+
+var (
+	registry = map[string]CandidateFinder{}
+	order    []string
+)
+
+// Register adds a finder to the registry; it panics on a duplicate name.
+// Finder packages call it from init (predict/sync is blank-imported by
+// the analysis pipeline, so both built-ins are always available).
+func Register(f CandidateFinder) {
+	name := f.Name()
+	if _, dup := registry[name]; dup {
+		panic("predict: duplicate finder " + name)
+	}
+	registry[name] = f
+	order = append(order, name)
+}
+
+// ByName resolves a finder; the empty string means DefaultFinder.
+func ByName(name string) (CandidateFinder, error) {
+	if name == "" {
+		name = DefaultFinder
+	}
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("predict: unknown finder %q (have: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f, nil
+}
+
+// Default returns the default finder.
+func Default() CandidateFinder {
+	f, err := ByName(DefaultFinder)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// All returns every registered finder in registration order (the
+// default first).
+func All() []CandidateFinder {
+	out := make([]CandidateFinder, len(order))
+	for i, name := range order {
+		out[i] = registry[name]
+	}
+	return out
+}
+
+// Names returns the registered finder names in registration order.
+func Names() []string {
+	return append([]string(nil), order...)
+}

@@ -1,0 +1,49 @@
+package predict_test
+
+import (
+	"strings"
+	"testing"
+
+	"dlfuzz/internal/predict"
+	psync "dlfuzz/internal/predict/sync"
+)
+
+// TestRegistry pins the finder registry contract: registration order
+// (the default iGoodlock closure first), name lookup with "" meaning
+// the default, and an unknown-name error that lists what exists.
+func TestRegistry(t *testing.T) {
+	names := predict.Names()
+	if len(names) < 2 || names[0] != predict.DefaultFinder {
+		t.Fatalf("Names() = %v, want [%s ...]", names, predict.DefaultFinder)
+	}
+	found := false
+	for _, n := range names {
+		if n == psync.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sound finder %q not registered: %v", psync.Name, names)
+	}
+	if def := predict.Default(); def.Name() != predict.DefaultFinder {
+		t.Errorf("Default().Name() = %q", def.Name())
+	}
+	f, err := predict.ByName("")
+	if err != nil || f.Name() != predict.DefaultFinder {
+		t.Errorf(`ByName("") = %v, %v`, f, err)
+	}
+	for _, n := range names {
+		f, err := predict.ByName(n)
+		if err != nil || f.Name() != n {
+			t.Errorf("ByName(%q) = %v, %v", n, f, err)
+		}
+	}
+	if _, err := predict.ByName("no-such-finder"); err == nil {
+		t.Error("unknown finder name did not error")
+	} else if !strings.Contains(err.Error(), predict.DefaultFinder) {
+		t.Errorf("error %q does not list the registered finders", err)
+	}
+	if all := predict.All(); len(all) != len(names) {
+		t.Errorf("All() has %d finders, Names() %d", len(all), len(names))
+	}
+}

@@ -1,0 +1,400 @@
+// Package sync implements a sound Phase I candidate finder in the
+// spirit of sync-preserving dynamic deadlock prediction (Tunç et al.,
+// "Sound Dynamic Deadlock Prediction in Linear Time", see PAPERS.md).
+//
+// The finder starts from the iGoodlock closure — so its candidate set
+// is always a subset of the default finder's — and keeps a cycle only
+// when it can build a witness: a sync-preserving reordering of one
+// observed run that drives every cycle thread to its acquire with a
+// consistent lock/wait/latch state. The witness is a per-thread prefix
+// assignment over the run's recorded synchronization history
+// (predict.History): each cycle thread stops just before its
+// component's acquire (lockset.Dep.Pos locates it), and a least
+// fixpoint pulls in every event those prefixes depend on:
+//
+//   - mutual exclusion: if two critical sections on the same lock both
+//     have their acquires in the witness, the observed-earlier one must
+//     also close (its release or wait is pulled in);
+//   - must-sync: a join pulls the target thread's whole history, an
+//     await pulls the latch's signal, a wait-resume pulls the notify
+//     that woke it, any event of a spawned thread pulls the spawn;
+//   - wake consistency: a notify pulls the resumes of earlier waits on
+//     the same monitor that had already resumed when it fired, so the
+//     witness's wait-set at the notify matches the observed one.
+//
+// If the fixpoint ever forces a cycle thread past its pause point, no
+// such reordering exists and the cycle is dropped. Otherwise replaying
+// the included events in observed order is a feasible schedule that
+// blocks every cycle thread on its requested lock — a real deadlock on
+// the observed trace. The claim is modulo data flow the history cannot
+// see (a program whose lock choice races on an unsynchronized shared
+// field may diverge from the witness); the bakeoff's zero-unconfirmed
+// acceptance gate checks it empirically on the whole corpus, and
+// TestSyncFinderSound checks it per candidate.
+//
+// The must-happens-before vector clocks Phase I already computes
+// (lockset.Dep.VC, from internal/hb) serve as a cheap sound prefilter:
+// two acquires ordered by must-sync can never both be pending, and
+// rejecting them early skips the fixpoint.
+package sync
+
+import (
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/hb"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/predict"
+)
+
+// Name is the finder's registry name.
+const Name = "sync"
+
+type finder struct{}
+
+func init() { predict.Register(finder{}) }
+
+// Name implements predict.CandidateFinder.
+func (finder) Name() string { return Name }
+
+// Caps implements predict.CandidateFinder.
+func (finder) Caps() predict.Caps {
+	return predict.Caps{Sound: true, NeedsHistory: true}
+}
+
+// Find implements predict.CandidateFinder: the iGoodlock closure
+// filtered down to cycles with a sync-preserving witness. Ranks are
+// strictly decreasing in emission order, like the default finder's.
+func (finder) Find(obs *predict.Observation, cfg predict.Config) []*predict.Candidate {
+	all := igoodlock.FindParallel(obs.Deps, cfg.Closure(), cfg.Parallelism)
+	indexes := map[int]*runIndex{}
+	var out []*predict.Candidate
+	for _, c := range all {
+		run, ok := singleRun(c)
+		if !ok || hb.ProvablyFalse(c) {
+			continue
+		}
+		ri := indexes[run]
+		if ri == nil {
+			h := obs.History(run)
+			if h == nil {
+				continue // no history for the run: cannot prove, stay silent
+			}
+			ri = buildIndex(h)
+			indexes[run] = ri
+		}
+		if ri.witness(c) {
+			out = append(out, &predict.Candidate{Cycle: c, Finder: Name})
+		}
+	}
+	for i, cand := range out {
+		cand.Rank = float64(len(out) - i)
+	}
+	return out
+}
+
+// singleRun returns the run all components were observed in. A merged
+// cycle mixing runs has no single trace to reorder, and a dependency
+// without a position (synthetic relations) cannot be located in one, so
+// both are rejected.
+func singleRun(c *igoodlock.Cycle) (int, bool) {
+	run := c.Components[0].Dep.Run
+	for _, comp := range c.Components {
+		if comp.Dep.Run != run || comp.Dep.Pos == 0 {
+			return 0, false
+		}
+	}
+	return run, true
+}
+
+// pos locates an event inside its thread's history.
+type pos struct {
+	thread event.TID
+	idx    int
+}
+
+// cspan is one critical section on a monitor: the acquire and the event
+// that closed it (a release, or a wait that gave the monitor up).
+type cspan struct {
+	acqSeq uint64
+	endSeq uint64 // 0 only if still open when the trace ended
+}
+
+// waitRec is one wait's lifecycle on a monitor.
+type waitRec struct {
+	waitSeq   uint64
+	notifySeq uint64 // the notify event that woke it (0 = never woken)
+	resumeSeq uint64 // the re-acquire after the wait (0 = never resumed)
+}
+
+// runIndex is one run's history cross-indexed for the witness check.
+type runIndex struct {
+	byThread map[event.TID][]predict.Ev
+	posOf    map[uint64]pos
+	spans    map[uint64][]cspan   // per monitor id, observed order
+	waits    map[uint64][]waitRec // per monitor id, observed order
+	signal   map[uint64]uint64    // latch id -> first signal's seq
+	spawnOf  map[event.TID]uint64 // thread -> the spawn event's seq
+	resume   map[uint64]uint64    // resume acquire seq -> waking notify seq
+}
+
+// buildIndex replays the history once, reconstructing critical-section
+// spans, wait/notify/resume pairings, latch signals and spawn edges.
+func buildIndex(h *predict.History) *runIndex {
+	ri := &runIndex{
+		byThread: map[event.TID][]predict.Ev{},
+		posOf:    map[uint64]pos{},
+		spans:    map[uint64][]cspan{},
+		waits:    map[uint64][]waitRec{},
+		signal:   map[uint64]uint64{},
+		spawnOf:  map[event.TID]uint64{},
+		resume:   map[uint64]uint64{},
+	}
+	// parked maps a waiting thread to its waitRec: monitor id + index.
+	type park struct {
+		obj uint64
+		idx int
+	}
+	parked := map[event.TID]park{}
+	for _, ev := range h.Events {
+		lst := ri.byThread[ev.Thread]
+		ri.posOf[ev.Seq] = pos{thread: ev.Thread, idx: len(lst)}
+		ri.byThread[ev.Thread] = append(lst, ev)
+
+		switch ev.Kind {
+		case event.KindAcquire:
+			if p, ok := parked[ev.Thread]; ok && p.obj == ev.Obj {
+				// The monitor re-acquire after a wait: pair it with the
+				// notify that woke the thread.
+				w := &ri.waits[ev.Obj][p.idx]
+				w.resumeSeq = ev.Seq
+				ri.resume[ev.Seq] = w.notifySeq
+				delete(parked, ev.Thread)
+			}
+			ri.spans[ev.Obj] = append(ri.spans[ev.Obj], cspan{acqSeq: ev.Seq})
+		case event.KindRelease, event.KindWait:
+			if sp := ri.spans[ev.Obj]; len(sp) > 0 && sp[len(sp)-1].endSeq == 0 {
+				sp[len(sp)-1].endSeq = ev.Seq
+			}
+			if ev.Kind == event.KindWait {
+				ri.waits[ev.Obj] = append(ri.waits[ev.Obj], waitRec{waitSeq: ev.Seq})
+				parked[ev.Thread] = park{obj: ev.Obj, idx: len(ri.waits[ev.Obj]) - 1}
+			}
+		case event.KindNotify:
+			if ev.Target != event.NoThread {
+				if p, ok := parked[ev.Target]; ok && p.obj == ev.Obj {
+					ri.waits[ev.Obj][p.idx].notifySeq = ev.Seq
+				}
+			}
+		case event.KindSignal:
+			if _, set := ri.signal[ev.Obj]; !set {
+				ri.signal[ev.Obj] = ev.Seq
+			}
+		case event.KindSpawn:
+			ri.spawnOf[ev.Target] = ev.Seq
+		}
+	}
+	return ri
+}
+
+// witness runs the fixpoint for one cycle and reports whether a
+// sync-preserving reordering realizes it.
+func (ri *runIndex) witness(c *igoodlock.Cycle) bool {
+	w := &witnessState{
+		ri:    ri,
+		pause: map[event.TID]int{},
+		need:  map[event.TID]int{},
+		done:  map[event.TID]int{},
+	}
+	for _, comp := range c.Components {
+		p, ok := ri.posOf[comp.Dep.Pos]
+		if !ok || p.thread != comp.Dep.Thread {
+			return false // position not in this history: cannot prove
+		}
+		// The prefix is exclusive: everything before the component's
+		// pending acquire runs, the acquire itself stays blocked.
+		w.pause[p.thread] = p.idx
+		w.need[p.thread] = p.idx
+	}
+	return w.solve()
+}
+
+// witnessState is one cycle's fixpoint: need[t] is the number of t's
+// history events the witness must include, pause[t] the hard bound for
+// cycle threads (their pending acquire's index).
+type witnessState struct {
+	ri    *runIndex
+	pause map[event.TID]int
+	need  map[event.TID]int
+	done  map[event.TID]int
+	ok    bool
+	dirty bool
+}
+
+// require includes events 0..idx of thread t, failing the witness when
+// that pushes a cycle thread to (or past) its pending acquire.
+func (w *witnessState) require(t event.TID, idx int) {
+	n := idx + 1
+	if n <= w.need[t] {
+		return
+	}
+	if p, isCycle := w.pause[t]; isCycle && n > p {
+		w.ok = false
+		return
+	}
+	w.need[t] = n
+	w.dirty = true
+}
+
+// requireSeq is require for an event named by its global sequence.
+func (w *witnessState) requireSeq(seq uint64) {
+	if seq == 0 {
+		// An open critical section or unresumed wait at trace end cannot
+		// appear before an included acquire; observation runs complete,
+		// so this only defends against malformed histories.
+		w.ok = false
+		return
+	}
+	p, ok := w.ri.posOf[seq]
+	if !ok {
+		w.ok = false
+		return
+	}
+	w.require(p.thread, p.idx)
+}
+
+// included reports whether the event at seq is in the current witness.
+func (w *witnessState) included(seq uint64) bool {
+	p, ok := w.ri.posOf[seq]
+	return ok && w.need[p.thread] > p.idx
+}
+
+// solve iterates the dependency rules to a least fixpoint. need only
+// grows and is bounded by each thread's history length, so the loop
+// terminates; per-event rules fire once per event (done tracks the
+// processed prefix), the cross-thread lock and notify rules re-scan
+// each round.
+func (w *witnessState) solve() bool {
+	w.ok = true
+	for {
+		w.dirty = false
+		w.threadRules()
+		if w.ok {
+			w.lockRules()
+		}
+		if w.ok {
+			w.notifyRules()
+		}
+		if !w.ok {
+			return false
+		}
+		if !w.dirty {
+			return true
+		}
+	}
+}
+
+// threadRules applies the per-event must-sync rules over every newly
+// included event.
+func (w *witnessState) threadRules() {
+	for {
+		advanced := false
+		for t, n := range w.need {
+			evs := w.ri.byThread[t]
+			if n > len(evs) {
+				n = len(evs)
+			}
+			if w.done[t] >= n {
+				continue
+			}
+			if w.done[t] == 0 && n > 0 {
+				// A thread runs only after its spawn: pull the parent's
+				// prefix through the spawn event.
+				if sp, ok := w.ri.spawnOf[t]; ok {
+					w.requireSeq(sp)
+				}
+			}
+			for i := w.done[t]; i < n && w.ok; i++ {
+				w.eventRule(evs[i])
+			}
+			w.done[t] = n
+			advanced = true
+			if !w.ok {
+				return
+			}
+		}
+		if !advanced {
+			return
+		}
+	}
+}
+
+// eventRule pulls in what one included event needs to execute.
+func (w *witnessState) eventRule(ev predict.Ev) {
+	switch ev.Kind {
+	case event.KindAcquire:
+		if ns, isResume := w.ri.resume[ev.Seq]; isResume {
+			// A wait-resume needs the notify that woke it.
+			w.requireSeq(ns)
+		}
+	case event.KindJoin:
+		// A join needs the whole target thread, through its exit.
+		if evs := w.ri.byThread[ev.Target]; len(evs) > 0 {
+			w.require(ev.Target, len(evs)-1)
+		}
+	case event.KindAwait:
+		// An await needs the latch's signal.
+		w.requireSeq(w.ri.signal[ev.Obj])
+	}
+}
+
+// lockRules enforces mutual exclusion: among included acquires on one
+// monitor, every critical section observed before another included one
+// must also close, so the replayed lock state is consistent.
+func (w *witnessState) lockRules() {
+	for _, spans := range w.ri.spans {
+		last := -1
+		for i := len(spans) - 1; i >= 0; i-- {
+			if w.included(spans[i].acqSeq) {
+				last = i
+				break
+			}
+		}
+		for i := 0; i < last; i++ {
+			if w.included(spans[i].acqSeq) && !w.included(spans[i].endSeq) {
+				w.requireSeq(spans[i].endSeq)
+				if !w.ok {
+					return
+				}
+			}
+		}
+	}
+}
+
+// notifyRules keeps wake-ups consistent: an included notify must see the
+// observed wait-set, so any earlier wait on the same monitor that had
+// already resumed when the notify fired must resume in the witness too
+// (otherwise the replayed notify could wake the wrong thread).
+func (w *witnessState) notifyRules() {
+	for obj, waits := range w.ri.waits {
+		for t, evs := range w.ri.byThread {
+			n := w.need[t]
+			if n > len(evs) {
+				n = len(evs)
+			}
+			for i := 0; i < n; i++ {
+				ev := evs[i]
+				if ev.Kind != event.KindNotify || ev.Obj != obj {
+					continue
+				}
+				for _, wr := range waits {
+					if wr.waitSeq < ev.Seq && wr.resumeSeq != 0 &&
+						wr.resumeSeq < ev.Seq && !w.included(wr.resumeSeq) {
+						w.requireSeq(wr.resumeSeq)
+						if !w.ok {
+							return
+						}
+					}
+				}
+			}
+		}
+	}
+}

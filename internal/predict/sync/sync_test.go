@@ -1,0 +1,301 @@
+package sync_test
+
+import (
+	"testing"
+
+	"dlfuzz/internal/analysis"
+	"dlfuzz/internal/campaign"
+	"dlfuzz/internal/event"
+	"dlfuzz/internal/fuzzer"
+	"dlfuzz/internal/igoodlock"
+	"dlfuzz/internal/object"
+	"dlfuzz/internal/predict"
+	psync "dlfuzz/internal/predict/sync"
+	"dlfuzz/internal/sched"
+	"dlfuzz/internal/workloads"
+)
+
+// observe runs one observation campaign with histories recorded and
+// returns the finder input.
+func observe(t *testing.T, prog func(*sched.Ctx), runs int, seed int64) *predict.Observation {
+	t.Helper()
+	_, pobs, err := analysis.ObserveRelation(prog, predict.DefaultConfig(), analysis.CampaignOptions{
+		Runs: runs, Parallelism: 1, Seed: seed, MaxSteps: 200000,
+	})
+	if err != nil {
+		t.Fatalf("observation: %v", err)
+	}
+	return pobs
+}
+
+func finders(t *testing.T) (def, sound predict.CandidateFinder) {
+	t.Helper()
+	def, err := predict.ByName(predict.DefaultFinder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sound, err = predict.ByName(psync.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return def, sound
+}
+
+// inversion is the classic two-thread lock-order inversion: a real,
+// reproducible deadlock.
+func inversion(c *sched.Ctx) {
+	a := c.New("Object", "sy:1")
+	b := c.New("Object", "sy:2")
+	t1 := c.Spawn("T1", nil, "sy:3", func(c *sched.Ctx) {
+		c.Sync(a, "sy:4", func() {
+			c.Sync(b, "sy:5", func() {})
+		})
+	})
+	t2 := c.Spawn("T2", nil, "sy:6", func(c *sched.Ctx) {
+		c.Sync(b, "sy:7", func() {
+			c.Sync(a, "sy:8", func() {})
+		})
+	})
+	c.Join(t1, "sy:9")
+	c.Join(t2, "sy:10")
+}
+
+// TestSyncFinderPredictsDeadlock checks recall on the ground-truth case:
+// the sound finder must keep the inversion's real deadlock cycle.
+func TestSyncFinderPredictsDeadlock(t *testing.T) {
+	_, sound := finders(t)
+	pobs := observe(t, inversion, 4, 1)
+	cands := sound.Find(pobs, predict.DefaultConfig())
+	if len(cands) == 0 {
+		t.Fatal("sound finder rejected the inversion deadlock")
+	}
+	for _, c := range cands {
+		if c.Finder != psync.Name {
+			t.Errorf("candidate finder = %q, want %q", c.Finder, psync.Name)
+		}
+	}
+}
+
+// TestSyncFinderSound is the per-candidate soundness check the package
+// doc promises: on every workload, every candidate the sound finder
+// emits is confirmed by a Phase II campaign.
+func TestSyncFinderSound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Phase II campaigns in -short mode")
+	}
+	_, sound := finders(t)
+	cfg := predict.DefaultConfig()
+	fc := fuzzer.Config{Abstraction: object.ExecIndex, K: 10, UseContext: true, YieldOpt: true}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			pobs := observe(t, w.Prog, 4, 1)
+			cands := sound.Find(pobs, cfg)
+			if len(cands) == 0 {
+				return
+			}
+			sum := campaign.ConfirmCycles(w.Prog, predict.Cycles(cands), fc,
+				100*len(cands), 200000,
+				campaign.Options{Ranks: predict.Ranks(cands)})
+			for i := range sum.Cycles {
+				if !sum.Cycles[i].Confirmed() {
+					t.Errorf("candidate %d (%s) predicted sound but never confirmed",
+						i, cands[i].Cycle.Key())
+				}
+			}
+		})
+	}
+}
+
+// TestSyncSubsetOfIGoodlock pins the construction: the sound finder
+// starts from the iGoodlock closure, so its candidates are a subset of
+// the default finder's (by canonical key, in the same relative order),
+// and its ranks are strictly decreasing like every finder's.
+func TestSyncSubsetOfIGoodlock(t *testing.T) {
+	def, sound := finders(t)
+	cfg := predict.DefaultConfig()
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			pobs := observe(t, w.Prog, 4, 1)
+			all := def.Find(pobs, cfg)
+			keys := make(map[string]int, len(all))
+			for i, c := range all {
+				keys[c.Cycle.Key()] = i
+			}
+			prev := -1
+			var prevRank float64
+			for i, c := range sound.Find(pobs, cfg) {
+				at, ok := keys[c.Cycle.Key()]
+				if !ok {
+					t.Fatalf("sound candidate %s not in the iGoodlock report", c.Cycle.Key())
+				}
+				if at < prev {
+					t.Errorf("sound candidates out of closure order at %s", c.Cycle.Key())
+				}
+				prev = at
+				if i > 0 && c.Rank >= prevRank {
+					t.Errorf("ranks not strictly decreasing at %d", i)
+				}
+				prevRank = c.Rank
+			}
+		})
+	}
+}
+
+// latchOrdered is an inversion whose two critical sections are forced
+// apart by a latch: T2's locks happen strictly after T1's, so the
+// iGoodlock cycle is a false positive (the must-HB prefilter kills it).
+func latchOrdered(c *sched.Ctx) {
+	a := c.New("Object", "lo:1")
+	b := c.New("Object", "lo:2")
+	l := c.NewLatch("lo:3")
+	t1 := c.Spawn("T1", nil, "lo:4", func(c *sched.Ctx) {
+		c.Sync(a, "lo:5", func() {
+			c.Sync(b, "lo:6", func() {})
+		})
+		c.Signal(l, "lo:7")
+	})
+	t2 := c.Spawn("T2", nil, "lo:8", func(c *sched.Ctx) {
+		c.Await(l, "lo:9")
+		c.Sync(b, "lo:10", func() {
+			c.Sync(a, "lo:11", func() {})
+		})
+	})
+	c.Join(t1, "lo:12")
+	c.Join(t2, "lo:13")
+}
+
+// TestSyncRejectsLatchOrderedCycle checks precision on a cycle the
+// default finder reports but that can never deadlock.
+func TestSyncRejectsLatchOrderedCycle(t *testing.T) {
+	def, sound := finders(t)
+	cfg := predict.DefaultConfig()
+	pobs := observe(t, latchOrdered, 4, 1)
+	if got := def.Find(pobs, cfg); len(got) == 0 {
+		t.Fatal("iGoodlock reports no cycle; the scenario is broken")
+	}
+	if got := sound.Find(pobs, cfg); len(got) != 0 {
+		t.Fatalf("sound finder kept %d latch-ordered candidates", len(got))
+	}
+}
+
+// gated is an inversion guarded by a gate lock T2 merely passes
+// through: T1 nests its inversion inside the gate, T2 takes and drops
+// the gate first. The deadlock is real only in schedules where T2
+// clears the gate before T1 takes it — which is exactly the
+// sync-preservation boundary: a witness exists iff the *observed* run
+// put T2's gate critical section first.
+func gated(c *sched.Ctx) {
+	gate := c.New("Object", "ga:1")
+	a := c.New("Object", "ga:2")
+	b := c.New("Object", "ga:3")
+	t1 := c.Spawn("T1", nil, "ga:4", func(c *sched.Ctx) {
+		c.Sync(gate, "ga:5", func() {
+			c.Sync(a, "ga:6", func() {
+				c.Sync(b, "ga:7", func() {})
+			})
+		})
+	})
+	t2 := c.Spawn("T2", nil, "ga:8", func(c *sched.Ctx) {
+		c.Sync(gate, "ga:9", func() {})
+		c.Sync(b, "ga:10", func() {
+			c.Sync(a, "ga:11", func() {})
+		})
+	})
+	c.Join(t1, "ga:12")
+	c.Join(t2, "ga:13")
+}
+
+// gateOrder reports which spawned thread's gate acquire was observed
+// first in run 0's history: the gate is each thread's first acquire, so
+// comparing the two threads' first acquire sequences decides it.
+func gateOrder(pobs *predict.Observation) (t1First bool, ok bool) {
+	h := pobs.History(0)
+	if h == nil {
+		return false, false
+	}
+	var spawned []event.TID
+	first := map[event.TID]uint64{}
+	for _, ev := range h.Events {
+		switch ev.Kind {
+		case event.KindSpawn:
+			spawned = append(spawned, ev.Target)
+		case event.KindAcquire:
+			if _, seen := first[ev.Thread]; !seen {
+				first[ev.Thread] = ev.Seq
+			}
+		}
+	}
+	if len(spawned) != 2 {
+		return false, false
+	}
+	s1, ok1 := first[spawned[0]]
+	s2, ok2 := first[spawned[1]]
+	if !ok1 || !ok2 {
+		return false, false
+	}
+	return s1 < s2, true
+}
+
+// TestSyncPreservesObservedGateOrder pins the sync-preserving
+// semantics on the gated inversion: the finder keeps the cycle exactly
+// when the observed run let T2 clear the gate before T1 locked it
+// (there a reordering blocks both threads without reordering the gate's
+// critical sections), and rejects it when T1's gate section came first
+// (T1 would have to release the gate — an event past its pause point).
+// Both observed orders must occur within the scanned seeds, so the test
+// exercises accept and reject.
+func TestSyncPreservesObservedGateOrder(t *testing.T) {
+	def, sound := finders(t)
+	cfg := predict.DefaultConfig()
+	accepts, rejects := 0, 0
+	for seed := int64(1); seed <= 40 && (accepts == 0 || rejects == 0); seed++ {
+		_, pobs, err := analysis.ObserveRelation(gated, cfg, analysis.CampaignOptions{
+			Runs: 1, Parallelism: 1, Seed: seed * 100, MaxSteps: 200000,
+		})
+		if err != nil {
+			continue
+		}
+		if len(def.Find(pobs, cfg)) == 0 {
+			continue // this run never witnessed both nesting orders
+		}
+		t1First, ok := gateOrder(pobs)
+		if !ok {
+			t.Fatal("could not classify the observed gate order")
+		}
+		got := sound.Find(pobs, cfg)
+		if t1First {
+			rejects++
+			if len(got) != 0 {
+				t.Errorf("seed %d: T1's gate section observed first, but the finder kept %d candidates",
+					seed, len(got))
+			}
+		} else {
+			accepts++
+			if len(got) == 0 {
+				t.Errorf("seed %d: T2 cleared the gate first, but the finder rejected the cycle", seed)
+			}
+		}
+	}
+	if accepts == 0 || rejects == 0 {
+		t.Fatalf("scanned seeds hit accepts=%d rejects=%d; need both orders to pin the semantics",
+			accepts, rejects)
+	}
+}
+
+// TestSyncSkipsSyntheticRelation pins the defensive path: dependencies
+// without positions (synthetic relations never executed) and runs
+// without histories produce no candidates instead of a panic.
+func TestSyncSkipsSyntheticRelation(t *testing.T) {
+	_, sound := finders(t)
+	deps := igoodlock.WideRelation(8, 4, 2)
+	cfg := predict.Config{Abstraction: object.ExecIndex, K: 10}
+	if igoodlock.Find(deps, cfg.Closure()) == nil {
+		t.Skip("synthetic relation yields no cycles; nothing to check")
+	}
+	got := sound.Find(&predict.Observation{Deps: deps}, cfg)
+	if len(got) != 0 {
+		t.Fatalf("finder emitted %d candidates over a relation it cannot witness", len(got))
+	}
+}

@@ -30,7 +30,11 @@
 #                          must still parse, report its manifest cycle
 #                          keys, and pass the serial-vs-parallel width
 #                          differential)
-#  11. docs links        — every relative link in README.md and
+#  11. bakeoff smoke     — every registered Phase I finder runs over the
+#                          first five corpus programs; a finder that
+#                          declares itself sound must have zero
+#                          Phase-II-unconfirmed candidates
+#  12. docs links        — every relative link in README.md and
 #                          docs/*.md resolves to a file in the repo
 #
 # FUZZTIME overrides the smoke window (default 10s); BENCHRUNS the
@@ -102,6 +106,11 @@ go run ./cmd/dlgen harvest -dir "$corpusdir" -seeds 25 -max-programs 6 \
 	-confirm-runs 3 >/dev/null
 go run ./cmd/dlgen status -dir "$corpusdir" -check >/dev/null
 go run ./cmd/dlgen status -dir testdata/corpus -check
+
+echo "== bakeoff smoke: finder bakeoff + sound-finder gate on 5 corpus entries =="
+bakeoff="$(mktemp)"
+trap 'rm -rf "$witdir" "$corpusdir" "$bakeoff"' EXIT
+go run ./cmd/dlbench -bakeoff-json "$bakeoff" -bakeoff-entries 5 -check-sound
 
 echo "== docs links: relative links in README.md and docs/*.md resolve =="
 bad=0
