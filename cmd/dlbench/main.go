@@ -25,6 +25,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"dlfuzz"
@@ -62,6 +63,18 @@ func main() {
 		memprofile   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	// A bad -workload is a usage error: report it like flag parsing does
+	// (exit status 2, message on stderr) and list what would have worked.
+	// Validated before the profile files are created, so a typo does not
+	// leave truncated profile output behind.
+	if *workload != "" {
+		if _, ok := figure2Workload(*workload); !ok {
+			fmt.Fprintf(os.Stderr, "dlbench: unknown workload %q\nvalid workloads: %s\n",
+				*workload, strings.Join(figure2WorkloadNames(), ", "))
+			os.Exit(2)
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -251,6 +264,25 @@ type pipelineRow struct {
 	AllocsPerStep float64 `json:"allocsPerStep"`
 }
 
+// figure2Workload looks a benchmark up by name.
+func figure2Workload(name string) (workloads.Workload, bool) {
+	for _, w := range harness.Figure2Benchmarks() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return workloads.Workload{}, false
+}
+
+// figure2WorkloadNames lists the valid -workload values in bench order.
+func figure2WorkloadNames() []string {
+	var names []string
+	for _, w := range harness.Figure2Benchmarks() {
+		names = append(names, w.Name)
+	}
+	return names
+}
+
 // pipelineBench runs the full Check pipeline on the Figure-2 workloads
 // (or just the -workload one) and writes a machine-readable benchmark
 // file, so the cost of the multi-cycle campaign (executions, steps, wall
@@ -264,9 +296,13 @@ func pipelineBench(path, metricsOut, only string, runs, parallel, p1runs, p1par 
 		Runs        int           `json:"runs"`
 		Parallelism int           `json:"parallelism"`
 		P1Runs      int           `json:"p1Runs"`
+		Gomaxprocs  int           `json:"gomaxprocs"`
 		Workloads   []pipelineRow `json:"workloads"`
 	}
-	out := doc{Runs: runs, Parallelism: parallel, P1Runs: max(p1runs, 1)}
+	// Gomaxprocs qualifies the machine-dependent columns: StepsPerSec is
+	// a serial-hot-path number and the closure speedups in the phase1
+	// bench only mean anything with more than one core.
+	out := doc{Runs: runs, Parallelism: parallel, P1Runs: max(p1runs, 1), Gomaxprocs: runtime.GOMAXPROCS(0)}
 	// One metrics accumulator spans every workload's campaign, so the
 	// snapshot describes the whole benchmark run. Left nil (no per-run
 	// hook, no timing) unless -metrics-out asks for it.

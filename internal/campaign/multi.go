@@ -178,8 +178,11 @@ func ConfirmCycles(prog func(*sched.Ctx), cycles []*igoodlock.Cycle, cfg fuzzer.
 				m.r = runner.Run(prog, cycles[target], cfg, int64(seed/c), maxSteps)
 			}
 			if m.r.Result.Outcome == sched.Deadlock {
+				// The runner's key caches render each candidate's key
+				// once per worker and this deadlock's once, instead of
+				// len(cycles) times per confirmed deadlock.
 				for i, cyc := range cycles {
-					if fuzzer.MatchesCycle(m.r.Result.Deadlock, cyc, cfg) {
+					if runner.MatchesCycle(m.r.Result.Deadlock, cyc, cfg) {
 						m.matches = append(m.matches, i)
 					}
 				}

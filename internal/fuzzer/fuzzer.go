@@ -49,6 +49,10 @@ type Config struct {
 	// scheduler steps; a thread paused longer is released. 0 means the
 	// default of 5000. Timeout evictions do not count as thrashes.
 	PauseTimeout int
+	// UnbatchedWork runs the scheduler with per-step Work requests (the
+	// pre-batching reference protocol) instead of batched grants. Output
+	// is byte-identical either way; the differential tests set this.
+	UnbatchedWork bool
 }
 
 const (
@@ -99,11 +103,28 @@ type Policy struct {
 	cfg   Config
 	hooks Hooks
 
-	paused   map[event.TID]int // tid -> step at which it was paused
-	freePass map[event.TID]bool
-	yielded  map[yieldKey]int   // yields taken per (thread, site)
-	skipped  map[event.TID]bool // one-decision yield skips, cleared per Next
-	stats    Stats
+	// paused, freePass and memo are indexed by TID (ids are minted
+	// densely from 0, and the sets are consulted for every alive thread
+	// on every decision — slice loads instead of map hashes). paused
+	// stores 1 + the step at which the thread was paused, 0 meaning not
+	// paused; npaused counts the nonzero entries.
+	paused   []int
+	npaused  int
+	freePass []bool
+	// memo caches the last matches() verdict per thread. The verdict is
+	// a pure function of the thread object, the pending acquire's lock
+	// and site, and the thread's acquire-context — all of which can only
+	// change when the thread is granted — so Next invalidates a thread's
+	// entry whenever it returns that thread, and a blocked thread
+	// re-scanned across many decisions is matched once.
+	memo []matchMemo
+
+	yielded map[yieldKey]int   // yields taken per (thread, site)
+	skipped map[event.TID]bool // one-decision yield skips, cleared per Next
+	stats   Stats
+	// abs memoizes abstraction keys (see absCache): the decision loop
+	// abstracts the same few threads and locks thousands of times per run.
+	abs absCache
 
 	// unpausedBuf, runnableBuf and victimBuf are per-decision scratch
 	// slices, reused so the steady-state decision loop allocates nothing.
@@ -115,6 +136,13 @@ type Policy struct {
 type yieldKey struct {
 	tid event.TID
 	loc event.Loc
+}
+
+type matchMemo struct {
+	obj     *object.Obj
+	loc     event.Loc
+	valid   bool
+	verdict bool
 }
 
 // New returns a policy that steers the execution toward cycle.
@@ -140,16 +168,17 @@ func (p *Policy) Reset(cycle *igoodlock.Cycle, cfg Config) {
 	}
 	p.cycle = cycle
 	p.cfg = cfg
-	if p.paused == nil {
-		p.paused = make(map[event.TID]int)
-		p.freePass = make(map[event.TID]bool)
+	clear(p.paused)
+	p.npaused = 0
+	clear(p.freePass)
+	clear(p.memo)
+	if p.yielded == nil {
 		p.yielded = make(map[yieldKey]int)
 	} else {
-		clear(p.paused)
-		clear(p.freePass)
 		clear(p.yielded)
 	}
 	clear(p.skipped)
+	p.abs.reset()
 	p.stats = Stats{}
 	p.hooks = nil
 }
@@ -174,18 +203,25 @@ func (p *Policy) Stats() Stats { return p.stats }
 func (p *Policy) Next(s *sched.Scheduler, enabled []event.TID) event.TID {
 	p.evictStale(s)
 	for _, tid := range s.AliveTIDs() {
-		if _, ok := p.paused[tid]; ok || p.freePass[tid] {
+		p.grow(tid)
+		if p.paused[tid] != 0 || p.freePass[tid] {
 			continue
 		}
-		if req := s.Pending(tid); req.Kind == event.KindAcquire && p.matches(s, tid, req) {
-			p.paused[tid] = s.Steps()
+		if req := s.PendingRef(tid); req.Kind == event.KindAcquire && p.matchesMemo(s, tid, req) {
+			p.paused[tid] = s.Steps() + 1
+			p.npaused++
 			p.stats.Pauses++
 			if p.hooks != nil {
 				p.hooks.OnPause(tid, s.Steps(), req.Loc)
 			}
 		}
 	}
-	clear(p.skipped)
+	// Yield skips last one decision. The len guard keeps the common case
+	// (no yields last decision) from paying a map-clear runtime call per
+	// scheduling step.
+	if len(p.skipped) > 0 {
+		clear(p.skipped)
+	}
 	for {
 		candidates := p.unpaused(enabled)
 		if len(candidates) == 0 {
@@ -208,9 +244,10 @@ func (p *Policy) Next(s *sched.Scheduler, enabled []event.TID) event.TID {
 			}
 		}
 		tid := runnable[s.Rand().Intn(len(runnable))]
-		req := s.Pending(tid)
+		req := s.PendingRef(tid)
 		if req.Kind == event.KindAcquire && p.freePass[tid] {
-			delete(p.freePass, tid)
+			p.freePass[tid] = false
+			p.invalidate(tid)
 			return tid
 		}
 		if p.cfg.YieldOpt && len(runnable) > 1 && req.Kind == event.KindAcquire && p.shouldYield(s, tid, req) {
@@ -225,19 +262,48 @@ func (p *Policy) Next(s *sched.Scheduler, enabled []event.TID) event.TID {
 			}
 			continue
 		}
+		p.invalidate(tid)
 		return tid
+	}
+}
+
+// grow extends the TID-indexed sets to cover tid.
+func (p *Policy) grow(tid event.TID) {
+	for int(tid) >= len(p.paused) {
+		p.paused = append(p.paused, 0)
+		p.freePass = append(p.freePass, false)
+		p.memo = append(p.memo, matchMemo{})
+	}
+}
+
+// matchesMemo is matches with the per-thread verdict cache.
+func (p *Policy) matchesMemo(s *sched.Scheduler, tid event.TID, req *sched.Request) bool {
+	m := &p.memo[tid]
+	if m.valid && m.obj == req.Obj && m.loc == req.Loc {
+		return m.verdict
+	}
+	v := p.matches(s, tid, req)
+	*m = matchMemo{obj: req.Obj, loc: req.Loc, valid: true, verdict: v}
+	return v
+}
+
+// invalidate drops tid's memoized verdict; called whenever Next grants
+// tid, since the grant may change its pending request or context.
+func (p *Policy) invalidate(tid event.TID) {
+	if int(tid) < len(p.memo) {
+		p.memo[tid].valid = false
 	}
 }
 
 // unpaused filters the paused threads out of enabled, into a reused
 // scratch buffer.
 func (p *Policy) unpaused(enabled []event.TID) []event.TID {
-	if len(p.paused) == 0 {
+	if p.npaused == 0 {
 		return enabled
 	}
 	out := p.unpausedBuf[:0]
 	for _, t := range enabled {
-		if _, ok := p.paused[t]; !ok {
+		if p.paused[t] == 0 {
 			out = append(out, t)
 		}
 	}
@@ -255,14 +321,19 @@ func (p *Policy) unpaused(enabled []event.TID) []event.TID {
 // precisely how a badly placed pause can make the checker miss the
 // deadlock (the probability-0.25 miss analyzed in the paper's Section 3).
 func (p *Policy) thrash(s *sched.Scheduler) {
+	// The TID-indexed scan yields victims in ascending id order, the same
+	// canonical order the map-based set had to sort into, so the
+	// RNG-indexed pick is reproducible.
 	victims := p.victimBuf[:0]
-	for t := range p.paused {
-		victims = append(victims, t)
+	for t, since := range p.paused {
+		if since != 0 {
+			victims = append(victims, event.TID(t))
+		}
 	}
 	p.victimBuf = victims
-	sortTIDs(victims)
 	victim := victims[s.Rand().Intn(len(victims))]
-	delete(p.paused, victim)
+	p.paused[victim] = 0
+	p.npaused--
 	p.freePass[victim] = true
 	p.stats.Thrashes++
 	if p.hooks != nil {
@@ -270,26 +341,20 @@ func (p *Policy) thrash(s *sched.Scheduler) {
 	}
 }
 
-// sortTIDs sorts in place (insertion sort; the sets are tiny) so that map
-// iteration order cannot leak nondeterminism into victim selection.
-func sortTIDs(ts []event.TID) {
-	for i := 1; i < len(ts); i++ {
-		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
-			ts[j], ts[j-1] = ts[j-1], ts[j]
-		}
-	}
-}
-
 // evictStale is the livelock monitor: it releases threads that have been
 // paused for longer than PauseTimeout steps.
 func (p *Policy) evictStale(s *sched.Scheduler) {
+	if p.npaused == 0 {
+		return
+	}
 	for t, since := range p.paused {
-		if s.Steps()-since > p.cfg.PauseTimeout {
-			delete(p.paused, t)
+		if since != 0 && s.Steps()-(since-1) > p.cfg.PauseTimeout {
+			p.paused[t] = 0
+			p.npaused--
 			p.freePass[t] = true
 			p.stats.Evictions++
 			if p.hooks != nil {
-				p.hooks.OnEvict(t, s.Steps())
+				p.hooks.OnEvict(event.TID(t), s.Steps())
 			}
 		}
 	}
@@ -299,9 +364,9 @@ func (p *Policy) evictStale(s *sched.Scheduler) {
 // component of the target cycle: abs(t) and abs(l) match and — when
 // context sensitivity is on — the acquire-site stack including the
 // pending site equals the component's context.
-func (p *Policy) matches(s *sched.Scheduler, tid event.TID, req sched.Request) bool {
-	absT := p.cfg.Abstraction.Of(s.Thread(tid).Obj(), p.cfg.K)
-	absL := p.cfg.Abstraction.Of(req.Obj, p.cfg.K)
+func (p *Policy) matches(s *sched.Scheduler, tid event.TID, req *sched.Request) bool {
+	absT := p.abs.of(p.cfg.Abstraction, s.Thread(tid).Obj(), p.cfg.K)
+	absL := p.abs.of(p.cfg.Abstraction, req.Obj, p.cfg.K)
 	for _, comp := range p.cycle.Components {
 		if comp.ThreadAbs != absT || comp.LockAbs != absL {
 			continue
@@ -327,7 +392,7 @@ func (p *Policy) matches(s *sched.Scheduler, tid event.TID, req sched.Request) b
 // cycle component's thread abstraction yields once before the bottommost
 // acquire of that component's context, letting other threads drain locks
 // they still need before the cycle starts forming.
-func (p *Policy) shouldYield(s *sched.Scheduler, tid event.TID, req sched.Request) bool {
+func (p *Policy) shouldYield(s *sched.Scheduler, tid event.TID, req *sched.Request) bool {
 	if p.yielded[yieldKey{tid, req.Loc}] >= p.cfg.YieldBudget {
 		return false
 	}
@@ -335,7 +400,7 @@ func (p *Policy) shouldYield(s *sched.Scheduler, tid event.TID, req sched.Reques
 	if len(s.LockSet(tid)) != 0 {
 		return false
 	}
-	absT := p.cfg.Abstraction.Of(s.Thread(tid).Obj(), p.cfg.K)
+	absT := p.abs.of(p.cfg.Abstraction, s.Thread(tid).Obj(), p.cfg.K)
 	for _, comp := range p.cycle.Components {
 		if comp.ThreadAbs != absT || len(comp.Context) == 0 {
 			continue

@@ -78,7 +78,7 @@ type RunResult struct {
 // target cycle, variant configuration and seed.
 func Run(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg Config, seed int64, maxSteps int) *RunResult {
 	pol := New(cycle, cfg)
-	s := sched.New(sched.Options{Seed: seed, Policy: pol, MaxSteps: maxSteps})
+	s := sched.New(sched.Options{Seed: seed, Policy: pol, MaxSteps: maxSteps, UnbatchedWork: cfg.UnbatchedWork})
 	res := s.Run(prog)
 	return &RunResult{
 		Result:     res,
@@ -95,6 +95,19 @@ func Run(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg Config, seed int64, 
 type Runner struct {
 	pool *sched.Pool
 	pol  *Policy
+
+	// Cycle and deadlock keys are pure functions of their inputs, so the
+	// Runner caches them: cycle keys per (cycle pointer, config) — the
+	// same few candidates are matched every run of a campaign — and the
+	// last deadlock's key, which a multi-cycle campaign compares against
+	// every candidate.
+	keys      map[*igoodlock.Cycle]string
+	keysCfg   Config
+	lastDL    *sched.DeadlockInfo
+	lastDLKey string
+	// abs interns abstraction keys across the campaign's deadlock-key
+	// renders; repeat thread/lock abstractions cost no allocations.
+	abs absCache
 }
 
 // NewRunner returns a Runner with an empty pool.
@@ -105,10 +118,76 @@ func NewRunner() *Runner {
 // Run is the pooled equivalent of the package-level Run.
 func (r *Runner) Run(prog func(*sched.Ctx), cycle *igoodlock.Cycle, cfg Config, seed int64, maxSteps int) *RunResult {
 	r.pol.Reset(cycle, cfg)
-	res := r.pool.Run(sched.Options{Seed: seed, Policy: r.pol, MaxSteps: maxSteps}, prog)
+	res := r.pool.Run(sched.Options{Seed: seed, Policy: r.pol, MaxSteps: maxSteps, UnbatchedWork: cfg.UnbatchedWork}, prog)
 	return &RunResult{
 		Result:     res,
-		Reproduced: res.Outcome == sched.Deadlock && MatchesCycle(res.Deadlock, cycle, cfg),
+		Reproduced: res.Outcome == sched.Deadlock && r.MatchesCycle(res.Deadlock, cycle, cfg),
 		Stats:      r.pol.Stats(),
 	}
+}
+
+// MatchesCycle is the package-level MatchesCycle with the Runner's key
+// caches: identical verdicts, but each cycle's key is rendered once per
+// campaign and each deadlock's once per run.
+func (r *Runner) MatchesCycle(dl *sched.DeadlockInfo, cycle *igoodlock.Cycle, cfg Config) bool {
+	if dl == nil || len(dl.Edges) != len(cycle.Components) {
+		return false
+	}
+	if cfg.K == 0 {
+		cfg.K = 10
+	}
+	return r.deadlockKey(dl, cfg) == r.cycleKey(cycle, cfg)
+}
+
+// cycleKey memoizes CycleKey per cycle pointer, flushing when the config
+// changes (the key depends on UseContext).
+func (r *Runner) cycleKey(cycle *igoodlock.Cycle, cfg Config) string {
+	if r.keys == nil {
+		r.keys = make(map[*igoodlock.Cycle]string)
+		r.keysCfg = cfg
+	} else if r.keysCfg != cfg {
+		clear(r.keys)
+		r.keysCfg = cfg
+	}
+	k, ok := r.keys[cycle]
+	if !ok {
+		k = CycleKey(cycle, cfg)
+		r.keys[cycle] = k
+	}
+	return k
+}
+
+// deadlockKey memoizes DeadlockKey for the most recent deadlock, which
+// covers the match-against-every-candidate loop of a multi-cycle
+// campaign. lastDL retains the DeadlockInfo, so its address cannot be
+// recycled while the cache entry lives.
+func (r *Runner) deadlockKey(dl *sched.DeadlockInfo, cfg Config) string {
+	if dl == r.lastDL && cfg == r.keysCfg {
+		return r.lastDLKey
+	}
+	r.lastDL = dl
+	r.lastDLKey = r.renderDeadlockKey(dl, cfg)
+	return r.lastDLKey
+}
+
+// renderDeadlockKey is DeadlockKey with the Runner's abstraction intern
+// cache: identical output, without re-rendering abstractions the
+// campaign's earlier deadlocks already produced. The per-run object map
+// is dropped each time — deadlocks come from distinct executions, so
+// object pointers never repeat meaningfully.
+func (r *Runner) renderDeadlockKey(dl *sched.DeadlockInfo, cfg Config) string {
+	if dl == nil {
+		return ""
+	}
+	r.abs.reset()
+	parts := make([]string, 0, len(dl.Edges))
+	for _, e := range dl.Edges {
+		key := string(r.abs.of(cfg.Abstraction, e.ThreadObj, cfg.K)) + "/" + string(r.abs.of(cfg.Abstraction, e.Want, cfg.K))
+		if cfg.UseContext {
+			key += "/" + e.Context.Key()
+		}
+		parts = append(parts, key)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "~")
 }

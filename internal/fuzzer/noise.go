@@ -34,7 +34,7 @@ func (p NoisePolicy) Next(s *sched.Scheduler, enabled []event.TID) event.TID {
 	}
 	tid := enabled[s.Rand().Intn(len(enabled))]
 	for i := 0; i < limit; i++ {
-		k := s.Pending(tid).Kind
+		k := s.PendingRef(tid).Kind
 		if k != event.KindAcquire && k != event.KindRelease {
 			return tid
 		}

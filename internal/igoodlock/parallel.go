@@ -8,6 +8,21 @@ import (
 	"dlfuzz/internal/lockset"
 )
 
+// Sharding thresholds. A block's fixed cost is a claim-counter bump plus
+// its slot in the merge pass; a round's fixed cost is its goroutine
+// fan-out. Both are only worth paying when each block extends enough
+// chains to dwarf them.
+const (
+	// parallelMinDeps is the relation size below which FindParallel
+	// delegates to the serial Find outright: D_1 has one chain per dep,
+	// so a smaller relation cannot even fill two blocks' worth of
+	// first-round work.
+	parallelMinDeps = 2 * minBlockChains
+	// minBlockChains is the minimum number of chains a round block may
+	// carry; rounds with fewer than two blocks' worth run inline.
+	minBlockChains = 16
+)
+
 // FindParallel is Find with the per-round chain-extension work sharded
 // across workers. The cycle reports are byte-identical to Find's at any
 // width — same cycles, same order, same MaxChains truncation point.
@@ -33,11 +48,21 @@ import (
 // budget allows, switching to candidate-by-candidate replay for the
 // block the budget cuts). A candidate past the budget point is discarded
 // before its report is appended — exactly where the serial loop returns.
+//
+// Sharding is adaptive, because the fan-out costs real work per round
+// (goroutine spawns, an atomic claim counter, a merge pass): relations
+// under parallelMinDeps go straight to the serial Find, and each round
+// splits into at most len(cur)/minBlockChains blocks so a block always
+// carries enough chains to amortize its claim-and-merge overhead. A
+// round reduced to a single block runs inline on the caller's goroutine
+// — narrow rounds of a wide relation (the first and last rounds,
+// typically) pay no synchronization at all. Block boundaries never
+// affect output: the merge replays serial order for any partition.
 func FindParallel(deps []*lockset.Dep, cfg Config, workers int) []*Cycle {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 || len(deps) < 2 {
+	if workers == 1 || len(deps) < parallelMinDeps {
 		return Find(deps, cfg)
 	}
 	if cfg.K == 0 {
@@ -66,32 +91,46 @@ func FindParallel(deps []*lockset.Dep, cfg Config, workers int) []*Cycle {
 			break
 		}
 		blocks := maxBlocks
-		if blocks > len(cur) {
-			blocks = len(cur)
+		if m := len(cur) / minBlockChains; blocks > m {
+			blocks = m
 		}
-		var claim atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers && w < blocks; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					b := int(claim.Add(1)) - 1
-					if b >= blocks {
-						return
+		if blocks <= 1 {
+			blocks = 1
+			extendBlock(cur, byHeld, cfg, &results[0])
+		} else {
+			var claim atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers && w < blocks; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						b := int(claim.Add(1)) - 1
+						if b >= blocks {
+							return
+						}
+						lo := b * len(cur) / blocks
+						hi := (b + 1) * len(cur) / blocks
+						extendBlock(cur[lo:hi], byHeld, cfg, &results[b])
 					}
-					lo := b * len(cur) / blocks
-					hi := (b + 1) * len(cur) / blocks
-					extendBlock(cur[lo:hi], byHeld, cfg, &results[b])
-				}
-			}()
+				}()
+			}
+			wg.Wait()
 		}
-		wg.Wait()
 
 		// Round barrier: deterministic merge in block (= serial) order.
 		// The extensions were copied out of cur by extended(), so cur's
-		// backing array is recycled as the next round's chain list.
+		// backing array is recycled as the next round's chain list — or
+		// replaced in one pre-sized allocation when the round grew past
+		// it, instead of re-growing inside the append loop.
+		total := 0
+		for b := 0; b < blocks; b++ {
+			total += len(results[b].exts)
+		}
 		next := cur[:0]
+		if cap(next) < total {
+			next = make([]chain, 0, total)
+		}
 		for b := 0; b < blocks; b++ {
 			r := &results[b]
 			if explored+r.candidates <= cfg.MaxChains {

@@ -86,8 +86,20 @@ type env struct {
 	parent *env
 }
 
+// newEnv opens a scope. The variable map is allocated on first define:
+// most scopes (loop bodies, sync blocks) declare nothing, and CLF loops
+// open a scope per iteration, so eager maps dominated the interpreter's
+// allocation profile.
 func newEnv(parent *env) *env {
-	return &env{vars: map[string]Value{}, parent: parent}
+	return &env{parent: parent}
+}
+
+// define declares name in this scope, allocating the map lazily.
+func (e *env) define(name string, v Value) {
+	if e.vars == nil {
+		e.vars = make(map[string]Value, 4)
+	}
+	e.vars[name] = v
 }
 
 func (e *env) lookup(name string) (Value, bool) {
@@ -197,7 +209,7 @@ func (ex *executor) callFunction(f *FuncDecl, args []Value, pos Pos) Value {
 	}
 	fenv := newEnv(nil)
 	for i, p := range f.Params {
-		fenv.vars[p] = args[i]
+		fenv.define(p, args[i])
 	}
 	var ret Value
 	ex.depth++
@@ -232,7 +244,7 @@ func (ex *executor) execStmt(s Stmt, env *env) {
 		ex.execBlock(s, env)
 
 	case *VarStmt:
-		env.vars[s.Name] = ex.eval(s.Init, env)
+		env.define(s.Name, ex.eval(s.Init, env))
 
 	case *AssignStmt:
 		v := ex.eval(s.Val, env)

@@ -19,7 +19,6 @@ package object
 import (
 	"fmt"
 	"strconv"
-	"strings"
 
 	"dlfuzz/internal/event"
 )
@@ -124,31 +123,89 @@ func (a Abstraction) Of(o *Obj, k int) Key {
 	}
 }
 
+// AppendOf appends the exact bytes of a.Of(o, k) to dst and returns the
+// extended slice. It exists for callers that intern keys: building into a
+// reused buffer and looking the bytes up in a map[string]Key is
+// allocation-free at steady state, where Of must materialize a string.
+func (a Abstraction) AppendOf(dst []byte, o *Obj, k int) []byte {
+	if o == nil {
+		return dst
+	}
+	switch a {
+	case Trivial:
+		return append(dst, '*')
+	case KObject:
+		return appendOK(dst, o, k)
+	case ExecIndex:
+		return appendIK(dst, o, k)
+	default:
+		panic("object: unknown abstraction scheme")
+	}
+}
+
 // absOK implements absO_k: the sequence (c1, ..., ck) where c_i is the
 // allocation site of the i-th object in the creator chain. The chain may
 // be shorter than k when an object was allocated outside any method of an
 // object (the paper's static-method case).
 func absOK(o *Obj, k int) Key {
-	var parts []string
+	return Key(appendOK(nil, o, k))
+}
+
+func appendOK(dst []byte, o *Obj, k int) []byte {
 	for cur := o; cur != nil && k > 0; cur, k = cur.Creator, k-1 {
-		parts = append(parts, string(cur.Site))
+		if cur != o {
+			dst = append(dst, "<-"...)
+		}
+		dst = append(dst, cur.Site...)
 	}
-	return Key(strings.Join(parts, "<-"))
+	return dst
 }
 
 // absIK implements absI_k: the top 2k elements of the indexed call stack
 // captured at allocation, i.e. at most k (label, count) pairs starting at
 // the allocation site itself.
 func absIK(o *Obj, k int) Key {
+	return Key(absIKBytes(o, k))
+}
+
+// absIKBytes sizes the buffer exactly, so absIK costs one allocation.
+func absIKBytes(o *Obj, k int) []byte {
 	n := len(o.Index)
 	if n > k {
 		n = k
 	}
-	parts := make([]string, 0, 2*n)
+	size := 2 // brackets
 	for _, e := range o.Index[:n] {
-		parts = append(parts, string(e.Loc), strconv.Itoa(e.Count))
+		size += len(e.Loc) + digits(e.Count) + 2 // two separators
 	}
-	return Key("[" + strings.Join(parts, ",") + "]")
+	return appendIK(make([]byte, 0, size), o, k)
+}
+
+func appendIK(dst []byte, o *Obj, k int) []byte {
+	n := len(o.Index)
+	if n > k {
+		n = k
+	}
+	dst = append(dst, '[')
+	for i, e := range o.Index[:n] {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, e.Loc...)
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(e.Count), 10)
+	}
+	return append(dst, ']')
+}
+
+// digits returns the rendered width of a non-negative count.
+func digits(n int) int {
+	d := 1
+	for n >= 10 {
+		n /= 10
+		d++
+	}
+	return d
 }
 
 // Allocator mints objects with fresh unique ids for one execution and

@@ -1,5 +1,7 @@
 package sched
 
+import "runtime"
+
 // Pool recycles Scheduler and Thread shells across the seeded runs of a
 // campaign worker, so a 100-run campaign allocates scheduler state once
 // per worker instead of once per seed. Recycled shells are reset to the
@@ -7,15 +9,28 @@ package sched
 // counters, cleared (capacity-retaining) maps and stacks — so pooled
 // results and event streams are byte-identical to New(opts).Run(main).
 //
+// Pooled thread shells also keep their goroutine: it parks on the
+// shell's work channel between runs (see Thread.loop), so re-spawning a
+// recycled thread skips goroutine creation and keeps its grown stack.
+// The goroutines watch stop, which a runtime cleanup closes once the
+// pool itself becomes unreachable, so abandoned pools leak nothing.
+//
 // A Pool is not safe for concurrent use; give each worker goroutine its
 // own.
 type Pool struct {
 	scheds  []*Scheduler
 	threads []*Thread
+	stop    chan struct{}
 }
 
 // NewPool returns an empty pool.
-func NewPool() *Pool { return &Pool{} }
+func NewPool() *Pool {
+	p := &Pool{stop: make(chan struct{})}
+	// The cleanup must not reference p (it would never run); closing the
+	// channel is all the parked thread goroutines need.
+	runtime.AddCleanup(p, func(stop chan struct{}) { close(stop) }, p.stop)
+	return p
+}
 
 // Run executes main under a pooled scheduler and recycles the shell. If
 // main panics, the panic propagates and the shell is abandoned instead
@@ -54,11 +69,20 @@ func (p *Pool) Put(s *Scheduler) {
 		s.threads[i] = nil
 	}
 	s.threads = s.threads[:0]
-	for _, ls := range s.locks {
+	for i := range s.alive {
+		s.alive[i] = nil
+	}
+	s.alive = s.alive[:0]
+	s.enabledValid = false
+	for i, ls := range s.locks {
+		if ls == nil {
+			continue
+		}
 		ls.recycle()
 		s.freeLocks = append(s.freeLocks, ls)
+		s.locks[i] = nil
 	}
-	clear(s.locks)
+	s.locks = s.locks[:0]
 	clear(s.latches)
 	s.alloc.Reset()
 	s.opts = Options{}

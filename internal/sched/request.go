@@ -39,6 +39,14 @@ type Request struct {
 	WaitResume bool
 	// All marks a Notify as notify-all.
 	All bool
+	// Steps is the number of invisible steps this request stands for
+	// (Ctx.Work posts one Step request with Steps=n instead of n separate
+	// requests). Zero and one both mean a single step. The scheduler
+	// grants a batched request Steps times — each grant is a full
+	// scheduling decision, consuming the same policy/RNG draws as a
+	// per-step execution — but only resumes the goroutine on the last
+	// grant, eliminating the per-step handshake on the dominant path.
+	Steps int
 }
 
 // String renders the request for debugging and deadlock reports.

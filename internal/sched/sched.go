@@ -1,14 +1,25 @@
 // Package sched implements the deterministic cooperative scheduler that
 // substitutes for the JVM thread scheduler the paper instruments.
 //
-// Simulated threads run as goroutines in strict lockstep with the
-// scheduler: a thread posts its next observable operation (a Request) and
-// blocks; the scheduler picks one enabled thread per step — delegating
-// the choice to a pluggable Policy — executes its request, and waits for
-// the thread to post again. Exactly one goroutine runs at any instant, so
-// an execution is a pure function of (program, policy, seed). This is
-// what makes the paper's probabilities measurable and its experiments
-// replayable.
+// Simulated threads run as goroutines under a baton-passing protocol: a
+// thread posts its next observable operation (a Request) and the
+// scheduling loop runs on whichever goroutine holds the baton — the
+// poster itself, between its post and its next grant. The loop picks one
+// enabled thread per step (delegating the choice to a pluggable Policy)
+// and executes its request; when the chosen thread is the poster, the
+// grant is a plain return with zero context switches, and only a grant
+// to a different thread hands the baton across a channel. Exactly one
+// goroutine runs at any instant and the decision sequence is identical
+// to a strict lockstep loop, so an execution remains a pure function of
+// (program, policy, seed). This is what makes the paper's probabilities
+// measurable and its experiments replayable.
+//
+// Invisible work (Ctx.Work) is batched: a thread posts one request for n
+// steps and receives its n grants without reposting, so the policy is
+// still consulted — and the step counter still advances — once per step,
+// with no per-step handshake. Options.UnbatchedWork restores the
+// one-request-per-step reference protocol; the differential suite pins
+// the two byte-identical.
 //
 // The scheduler confirms resource deadlocks the way Algorithm 4 does: the
 // moment an Acquire blocks, it checks the wait-for graph for a cycle and,
@@ -16,12 +27,14 @@
 // context of every edge.
 //
 // The execution hot path is engineered to be allocation-free at steady
-// state (see DESIGN.md "Performance"): the per-thread lockstep handshake
-// is one bidirectional channel, event snapshots of lock and context
-// stacks are O(1) persistent shares guarded by copy-on-write watermarks
-// rather than per-event clones, the wait-for graph and the enabled set
-// are reused scratch buffers, and a Pool recycles whole scheduler/thread
-// shells across the seeded runs of a campaign.
+// state (see DESIGN.md "Performance"): the per-thread handshake is one
+// bidirectional channel, event construction is skipped entirely when no
+// observer is attached, event snapshots of lock and context stacks are
+// O(1) persistent shares guarded by copy-on-write watermarks rather than
+// per-event clones, lock state is a dense slice indexed by object ID,
+// the wait-for graph and the enabled set are reused scratch buffers, and
+// a Pool recycles whole scheduler/thread shells — goroutines included —
+// across the seeded runs of a campaign.
 package sched
 
 import (
@@ -87,6 +100,12 @@ type Options struct {
 	Policy Policy
 	// Observers receive the event stream.
 	Observers []Observer
+	// UnbatchedWork forces Ctx.Work to post one Step request per step,
+	// the pre-batching protocol, instead of a single batched request.
+	// Execution output is byte-identical either way (the differential
+	// tests pin this); the flag exists so those tests can run the slow
+	// reference protocol.
+	UnbatchedWork bool
 }
 
 const defaultMaxSteps = 1_000_000
@@ -98,16 +117,30 @@ type Scheduler struct {
 	policy  Policy
 	alloc   object.Allocator
 	threads []*Thread
+	// alive lists the non-terminated threads in ascending TID order (ids
+	// are minted in spawn order, so appends keep it sorted). The per-step
+	// scans — enabled set, alive set, wait-for graph — walk this list
+	// instead of all of threads, so long-dead threads cost nothing.
+	alive []*Thread
 	// latches and locks are allocated lazily: most workloads use no
-	// latches, and pooled schedulers keep (cleared) maps across runs.
+	// latches, and pooled schedulers keep the (cleared) containers across
+	// runs. Object ids are minted densely from 1 by the per-run
+	// allocator, so locks is a slice indexed by Obj.ID — a bounds check
+	// and a load per lookup on the per-step hot path, instead of a map
+	// hash. Slots for never-locked objects stay nil.
 	latches map[uint64]*Latch
-	locks   map[uint64]*lockState
+	locks   []*lockState
 
 	steps    int
 	seq      uint64
 	acquires uint64
 	deadlock *DeadlockInfo
 	panicVal any
+	outcome  Outcome
+
+	// runDone wakes Run's goroutine when a thread goroutine holding the
+	// scheduling baton ends the run (see schedule).
+	runDone chan struct{}
 
 	// pool, when non-nil, supplies recycled thread shells and receives
 	// this scheduler back after Pool.Run.
@@ -119,6 +152,16 @@ type Scheduler struct {
 	wfg        *waitgraph.Graph
 	enabledBuf []event.TID
 	aliveBuf   []event.TID
+	// enabledValid marks enabledBuf as still describing the current
+	// state: a mid-batch Step grant mutates nothing the enabled set
+	// depends on, so Run reuses the buffer instead of rescanning.
+	enabledValid bool
+	// observing caches len(opts.Observers) > 0. Without observers the
+	// event stream has no consumer, so applyRequest skips materializing
+	// Ev values entirely (evBuf is its write-only scratch) and emit only
+	// advances seq.
+	observing bool
+	evBuf     Ev
 }
 
 // New returns a scheduler configured by opts.
@@ -147,6 +190,7 @@ func (s *Scheduler) init(opts Options) {
 	if s.policy == nil {
 		s.policy = RandomPolicy{}
 	}
+	s.observing = len(opts.Observers) > 0
 }
 
 // Rand returns the execution's RNG. Policies draw from it so that one
@@ -162,6 +206,12 @@ func (s *Scheduler) Thread(t event.TID) *Thread { return s.threads[t] }
 // Pending returns thread t's posted request.
 func (s *Scheduler) Pending(t event.TID) Request { return s.threads[t].pending }
 
+// PendingRef returns a pointer to thread t's posted request, valid until
+// the thread is next granted. Policies on the per-decision hot path use
+// it to avoid copying the Request struct; callers must not modify or
+// retain the referent.
+func (s *Scheduler) PendingRef(t event.TID) *Request { return &s.threads[t].pending }
+
 // LockSet returns the locks currently held by t, outermost first.
 // The returned slice is the live stack; callers must not modify it.
 func (s *Scheduler) LockSet(t event.TID) []*object.Obj { return s.threads[t].lockStack }
@@ -173,7 +223,7 @@ func (s *Scheduler) Context(t event.TID) event.Context { return s.threads[t].ctx
 // Holder returns the thread currently holding the monitor of o, or
 // NoThread when it is free.
 func (s *Scheduler) Holder(o *object.Obj) event.TID {
-	if ls, ok := s.locks[o.ID]; ok {
+	if ls := s.lookupLock(o.ID); ls != nil {
 		return ls.holder
 	}
 	return event.NoThread
@@ -182,23 +232,33 @@ func (s *Scheduler) Holder(o *object.Obj) event.TID {
 // Allocated returns the number of objects allocated so far.
 func (s *Scheduler) Allocated() uint64 { return s.alloc.Count() }
 
+// lookupLock returns the monitor state for object id, or nil when the
+// object has never been locked this run.
+func (s *Scheduler) lookupLock(id uint64) *lockState {
+	if id < uint64(len(s.locks)) {
+		return s.locks[id]
+	}
+	return nil
+}
+
 // lock returns (creating on demand) the monitor state for o.
 func (s *Scheduler) lock(o *object.Obj) *lockState {
-	ls, ok := s.locks[o.ID]
-	if !ok {
-		if s.locks == nil {
-			s.locks = make(map[uint64]*lockState)
-		}
-		if n := len(s.freeLocks); n > 0 {
-			ls = s.freeLocks[n-1]
-			s.freeLocks = s.freeLocks[:n-1]
-		} else {
-			ls = &lockState{}
-		}
-		ls.obj = o
-		ls.holder = event.NoThread
-		s.locks[o.ID] = ls
+	if ls := s.lookupLock(o.ID); ls != nil {
+		return ls
 	}
+	for uint64(len(s.locks)) <= o.ID {
+		s.locks = append(s.locks, nil)
+	}
+	var ls *lockState
+	if n := len(s.freeLocks); n > 0 {
+		ls = s.freeLocks[n-1]
+		s.freeLocks = s.freeLocks[:n-1]
+	} else {
+		ls = &lockState{}
+	}
+	ls.obj = o
+	ls.holder = event.NoThread
+	s.locks[o.ID] = ls
 	return ls
 }
 
@@ -220,29 +280,62 @@ func (s *Scheduler) newThread(name string, obj *object.Obj, body func(*Ctx)) *Th
 	t.sched = s
 	t.alive = true
 	s.threads = append(s.threads, t)
-	// Launch the goroutine and run it to its first scheduling point.
-	// Only this goroutine runs until it posts, so determinism holds.
+	s.alive = append(s.alive, t) // ids are minted ascending, so alive stays sorted
+	// Launch (or wake) the goroutine and run it to its first scheduling
+	// point. Only that goroutine runs until it posts, so determinism
+	// holds. Pooled shells keep a persistent goroutine parked on work
+	// across runs; handing it the body skips goroutine creation and
+	// reuses its grown stack.
 	t.started = true
-	go func() {
-		defer func() { t.done <- struct{}{} }()
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(abortPanic); ok {
-					return
-				}
-				// Propagate user panics to Run via the scheduler.
-				t.pending = Request{Kind: event.KindExit}
-				s.panicVal = r
-				t.hs <- true
-				return
-			}
-		}()
-		body(&Ctx{t: t})
-		t.pending = Request{Kind: event.KindExit}
-		t.hs <- true
-	}()
+	if t.looping {
+		t.work <- body
+	} else if s.pool != nil {
+		t.looping = true
+		t.work = make(chan func(*Ctx))
+		go t.loop(s.pool.stop)
+		t.work <- body
+	} else {
+		go t.run(body)
+	}
 	<-t.hs
 	return t
+}
+
+// loop is the body of a pooled shell's persistent goroutine: one thread
+// body per wakeup, parked on work between runs, exiting when the owning
+// pool is dropped (stop is closed by the pool's runtime cleanup).
+func (t *Thread) loop(stop chan struct{}) {
+	for {
+		select {
+		case body := <-t.work:
+			t.run(body)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// run is the body of a thread goroutine: execute body under the
+// baton-passing protocol, posting Exit (or propagating a user panic) on
+// the way out.
+func (t *Thread) run(body func(*Ctx)) {
+	defer func() { t.done <- struct{}{} }()
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortPanic); ok {
+				return
+			}
+			// Propagate user panics to Run via the scheduler.
+			t.pending = Request{Kind: event.KindExit}
+			t.sched.panicVal = r
+			t.postExit()
+			return
+		}
+	}()
+	t.ctx.t = t
+	body(&t.ctx)
+	t.pending = Request{Kind: event.KindExit}
+	t.postExit()
 }
 
 // takeThread returns a recycled thread shell from the pool, or a fresh
@@ -265,36 +358,15 @@ func (s *Scheduler) takeThread() *Thread {
 // It panics if a thread body panicked.
 func (s *Scheduler) Run(main func(*Ctx)) *Result {
 	mainObj := s.alloc.New("Thread", "main", nil, []object.IndexEntry{{Loc: "main", Count: 1}})
+	if s.runDone == nil {
+		s.runDone = make(chan struct{}, 1)
+	}
+	s.outcome = Completed
 	s.newThread("main", mainObj, main)
-
-	outcome := Completed
-	for {
-		if s.panicVal != nil {
-			break
-		}
-		if s.steps >= s.opts.MaxSteps {
-			outcome = StepLimit
-			break
-		}
-		enabled := s.enabled()
-		if len(enabled) == 0 {
-			if s.aliveCount() == 0 {
-				outcome = Completed
-			} else if dl := s.findDeadlock(); dl != nil {
-				s.deadlock = dl
-				outcome = Deadlock
-			} else {
-				outcome = Stall
-			}
-			break
-		}
-		s.steps++
-		tid := s.policy.Next(s, enabled)
-		s.execute(s.threads[tid])
-		if s.deadlock != nil {
-			outcome = Deadlock
-			break
-		}
+	if !s.schedule(nil) {
+		// The baton moved to a thread goroutine; whichever goroutine
+		// holds it when the run ends signals runDone.
+		<-s.runDone
 	}
 
 	s.teardown()
@@ -302,7 +374,7 @@ func (s *Scheduler) Run(main func(*Ctx)) *Result {
 		panic(s.panicVal)
 	}
 	return &Result{
-		Outcome:   outcome,
+		Outcome:   s.outcome,
 		Deadlock:  s.deadlock,
 		Steps:     s.steps,
 		Events:    s.seq,
@@ -310,6 +382,105 @@ func (s *Scheduler) Run(main func(*Ctx)) *Result {
 		Spawned:   len(s.threads),
 		Allocated: s.alloc.Count(),
 	}
+}
+
+// schedule is the baton-passing scheduling loop. It runs on whichever
+// goroutine is active: a thread goroutine whose user code just posted
+// (poster — it holds the baton between its post and its next grant), or
+// Run's goroutine right after the main thread's first post (poster ==
+// nil). It returns true when the run is over, false when the baton was
+// handed to another goroutine.
+//
+// Each iteration takes one scheduling decision and applies the chosen
+// request. Granting the poster itself simply returns: user code resumes
+// on this very goroutine with zero context switches — this is what makes
+// runs of consecutive grants to one thread (program prologues, solo
+// sections) handshake-free. Granting another thread wakes it with a
+// single channel send (one switch, half the lockstep protocol's cost)
+// and parks the poster until its own grant; the woken thread continues
+// the loop at its next post. The decision sequence, RNG draws and event
+// stream are identical to the classic one-goroutine scheduler loop —
+// only which goroutine evaluates each decision changes, and execution
+// stays strictly serial throughout.
+func (s *Scheduler) schedule(poster *Thread) bool {
+	// posterExited is latched before the baton can move: after a
+	// handoff another goroutine may grant (and so mutate) poster's
+	// pending request concurrently with the tail of this call.
+	posterExited := false
+	if poster != nil {
+		switch poster.pending.Kind {
+		case event.KindExit:
+			posterExited = true
+			poster.alive = false
+			s.dropAlive(poster)
+			s.emit(&Ev{Kind: event.KindExit, Thread: poster.id, ThreadObj: poster.obj})
+		case event.KindAcquire:
+			// checkRealDeadlock (Algorithm 4): the moment a thread wants
+			// a lock, see whether the wait-for graph now has a cycle.
+			if dl := s.cycleThrough(poster); dl != nil {
+				s.deadlock = dl
+			}
+		}
+	}
+	for {
+		if s.deadlock != nil {
+			s.outcome = Deadlock
+			break
+		}
+		if s.panicVal != nil {
+			break
+		}
+		if s.steps >= s.opts.MaxSteps {
+			s.outcome = StepLimit
+			break
+		}
+		var enabled []event.TID
+		if s.enabledValid {
+			// The previous decision was a mid-batch Step grant, which
+			// mutates no state the enabled set depends on.
+			enabled = s.enabledBuf
+		} else {
+			enabled = s.enabled()
+		}
+		if len(enabled) == 0 {
+			if s.aliveCount() == 0 {
+				s.outcome = Completed
+			} else if dl := s.findDeadlock(); dl != nil {
+				s.deadlock = dl
+				s.outcome = Deadlock
+			} else {
+				s.outcome = Stall
+			}
+			break
+		}
+		s.steps++
+		t := s.threads[s.policy.Next(s, enabled)]
+		if !s.applyRequest(t) {
+			continue // mid-batch grant or scheduler error: baton stays put
+		}
+		if t == poster {
+			return false // self-grant: poster's post returns, no switch
+		}
+		t.hs <- true // hand the user-execution turn (and the baton) to t
+		if poster == nil {
+			return false // Run's goroutine goes to wait on runDone
+		}
+		if posterExited {
+			return false // poster's goroutine exits
+		}
+		poster.park()
+		return false
+	}
+	// The run is over. Wake Run's goroutine if the baton ever left it,
+	// then park a still-live poster so teardown can abort-unwind it.
+	if poster == nil {
+		return true
+	}
+	s.runDone <- struct{}{}
+	if !posterExited {
+		poster.park()
+	}
+	return true
 }
 
 // teardown aborts every still-blocked thread goroutine and waits for all
@@ -329,24 +500,26 @@ func (s *Scheduler) teardown() {
 // until the next AliveTIDs call; callers must not retain it.
 func (s *Scheduler) AliveTIDs() []event.TID {
 	out := s.aliveBuf[:0]
-	for _, t := range s.threads {
-		if t.alive {
-			out = append(out, t.id)
-		}
+	for _, t := range s.alive {
+		out = append(out, t.id)
 	}
 	s.aliveBuf = out
 	return out
 }
 
 // aliveCount returns how many threads have not terminated.
-func (s *Scheduler) aliveCount() int {
-	n := 0
-	for _, t := range s.threads {
-		if t.alive {
-			n++
+func (s *Scheduler) aliveCount() int { return len(s.alive) }
+
+// dropAlive removes t from the sorted alive list when it terminates.
+func (s *Scheduler) dropAlive(t *Thread) {
+	for i, at := range s.alive {
+		if at == t {
+			copy(s.alive[i:], s.alive[i+1:])
+			s.alive[len(s.alive)-1] = nil
+			s.alive = s.alive[:len(s.alive)-1]
+			return
 		}
 	}
-	return n
 }
 
 // Enabled reports whether thread t's pending request is executable now.
@@ -358,8 +531,8 @@ func (s *Scheduler) Enabled(t event.TID) bool {
 // buffer reused across steps.
 func (s *Scheduler) enabled() []event.TID {
 	out := s.enabledBuf[:0]
-	for _, t := range s.threads {
-		if t.alive && s.executable(t) {
+	for _, t := range s.alive {
+		if s.executable(t) {
 			out = append(out, t.id)
 		}
 	}
@@ -369,14 +542,14 @@ func (s *Scheduler) enabled() []event.TID {
 
 // executable reports whether t's pending request can run immediately.
 func (s *Scheduler) executable(t *Thread) bool {
-	r := t.pending
+	r := &t.pending
 	switch r.Kind {
 	case event.KindAcquire:
 		if r.WaitResume && !t.notified {
 			return false
 		}
-		ls, ok := s.locks[r.Obj.ID]
-		return !ok || ls.free() || ls.holder == t.id
+		ls := s.lookupLock(r.Obj.ID)
+		return ls == nil || ls.free() || ls.holder == t.id
 	case event.KindJoin:
 		return !s.threads[r.Target].alive
 	case event.KindAwait:
@@ -388,12 +561,19 @@ func (s *Scheduler) executable(t *Thread) bool {
 	}
 }
 
-// emit delivers an event to every observer.
-func (s *Scheduler) emit(ev Ev) {
+// emit delivers an event to every observer. The event is passed by
+// pointer so observer-less executions never copy the ~120-byte Ev; each
+// observer still receives its own value copy. Without observers only
+// the sequence number advances — the Ev fields are never read, which is
+// what lets applyRequest scribble them into a stale scratch buffer.
+func (s *Scheduler) emit(ev *Ev) {
 	s.seq++
+	if !s.observing {
+		return
+	}
 	ev.Seq = s.seq
 	for _, o := range s.opts.Observers {
-		o.OnEvent(ev)
+		o.OnEvent(*ev)
 	}
 }
 
@@ -416,11 +596,23 @@ func (s *Scheduler) snapshotContext(t *Thread) event.Context {
 	return t.publishCtx()
 }
 
-// execute applies t's pending request, resumes t, and waits for its next
-// post. The caller guarantees the request is executable.
-func (s *Scheduler) execute(t *Thread) {
-	r := t.pending
-	base := Ev{Kind: r.Kind, Thread: t.id, ThreadObj: t.obj, Loc: r.Loc}
+// applyRequest applies t's pending request and reports whether t must
+// now be granted the user-execution turn; false means the scheduling
+// loop keeps the baton (a mid-batch Work grant, or a scheduler error
+// that ends the run). The caller guarantees the request is executable.
+func (s *Scheduler) applyRequest(t *Thread) bool {
+	// r aliases the pending request rather than copying it; every read
+	// through r happens before the grant that lets t repost.
+	r := &t.pending
+	// base is the event under construction. It lives in the scheduler's
+	// scratch buffer so the unobserved hot path never zeroes or copies a
+	// ~120-byte Ev per request: the branches' field stores land on stale
+	// scratch that emit ignores. With observers the buffer is rebuilt
+	// from scratch here, so no field of a previous event can leak.
+	base := &s.evBuf
+	if s.observing {
+		*base = Ev{Kind: r.Kind, Thread: t.id, ThreadObj: t.obj, Loc: r.Loc}
+	}
 
 	switch r.Kind {
 	case event.KindAcquire:
@@ -442,18 +634,17 @@ func (s *Scheduler) execute(t *Thread) {
 			held := s.snapshotLocks(t)
 			t.pushCtx(site)
 			t.pushLock(r.Obj)
-			ev := base
-			ev.Obj = r.Obj
-			ev.LockSet = held
-			ev.Context = s.snapshotContext(t)
-			s.emit(ev)
+			base.Obj = r.Obj
+			base.LockSet = held
+			base.Context = s.snapshotContext(t)
+			s.emit(base)
 		}
 
 	case event.KindWait:
-		ls, ok := s.locks[r.Obj.ID]
-		if !ok || ls.holder != t.id {
+		ls := s.lookupLock(r.Obj.ID)
+		if ls == nil || ls.holder != t.id {
 			s.panicVal = fmt.Errorf("sched: %s waits on %s it does not hold at %s", t.id, r.Obj, r.Loc)
-			return
+			return false
 		}
 		// Release the monitor in full, remembering the depth and the
 		// original acquire site for the resume.
@@ -465,41 +656,37 @@ func (s *Scheduler) execute(t *Thread) {
 		n := len(t.lockStack) - 1
 		if n < 0 || t.lockStack[n].ID != r.Obj.ID {
 			s.panicVal = fmt.Errorf("sched: %s waits on %s out of nesting order at %s", t.id, r.Obj, r.Loc)
-			return
+			return false
 		}
 		t.waitLoc = t.ctxStack[n]
 		t.lockStack = t.lockStack[:n]
 		t.ctxStack = t.ctxStack[:n]
-		ev := base
-		ev.Obj = r.Obj
-		ev.LockSet = s.snapshotLocks(t)
-		s.emit(ev)
+		base.Obj = r.Obj
+		base.LockSet = s.snapshotLocks(t)
+		s.emit(base)
 
 	case event.KindNotify:
-		ls, ok := s.locks[r.Obj.ID]
-		if !ok || ls.holder != t.id {
+		ls := s.lookupLock(r.Obj.ID)
+		if ls == nil || ls.holder != t.id {
 			s.panicVal = fmt.Errorf("sched: %s notifies %s it does not hold at %s", t.id, r.Obj, r.Loc)
-			return
+			return false
 		}
 		woken := s.wake(ls, r.All)
+		base.Obj = r.Obj
 		for _, w := range woken {
-			ev := base
-			ev.Obj = r.Obj
-			ev.Target = w
-			s.emit(ev)
+			base.Target = w
+			s.emit(base)
 		}
 		if len(woken) == 0 {
-			ev := base
-			ev.Obj = r.Obj
-			ev.Target = event.NoThread
-			s.emit(ev)
+			base.Target = event.NoThread
+			s.emit(base)
 		}
 
 	case event.KindRelease:
-		ls, ok := s.locks[r.Obj.ID]
-		if !ok || ls.holder != t.id {
+		ls := s.lookupLock(r.Obj.ID)
+		if ls == nil || ls.holder != t.id {
 			s.panicVal = fmt.Errorf("sched: %s releases %s it does not hold at %s", t.id, r.Obj, r.Loc)
-			return
+			return false
 		}
 		ls.depth--
 		if ls.depth == 0 {
@@ -507,40 +694,36 @@ func (s *Scheduler) execute(t *Thread) {
 			n := len(t.lockStack) - 1
 			if n < 0 || t.lockStack[n].ID != r.Obj.ID {
 				s.panicVal = fmt.Errorf("sched: %s releases %s out of nesting order at %s", t.id, r.Obj, r.Loc)
-				return
+				return false
 			}
 			t.lockStack = t.lockStack[:n]
 			t.ctxStack = t.ctxStack[:n]
-			ev := base
-			ev.Obj = r.Obj
-			ev.LockSet = s.snapshotLocks(t)
-			s.emit(ev)
+			base.Obj = r.Obj
+			base.LockSet = s.snapshotLocks(t)
+			s.emit(base)
 		}
 
 	case event.KindCall:
 		t.thisStack = append(t.thisStack, r.Recv)
 		t.indexer.Call(r.Loc)
-		ev := base
-		ev.Method = r.Method
-		ev.Obj = r.Recv
-		s.emit(ev)
+		base.Method = r.Method
+		base.Obj = r.Recv
+		s.emit(base)
 
 	case event.KindReturn:
 		if n := len(t.thisStack); n > 0 {
 			t.thisStack = t.thisStack[:n-1]
 		}
 		t.indexer.Return()
-		ev := base
-		ev.Method = r.Method
-		s.emit(ev)
+		base.Method = r.Method
+		s.emit(base)
 
 	case event.KindNew:
 		idx := t.indexer.Snapshot(r.Loc)
 		obj := s.alloc.New(r.Type, r.Loc, t.this(), idx)
 		t.retObj = obj
-		ev := base
-		ev.Obj = obj
-		s.emit(ev)
+		base.Obj = obj
+		s.emit(base)
 
 	case event.KindSpawn:
 		tobj := r.ThreadObj
@@ -550,46 +733,46 @@ func (s *Scheduler) execute(t *Thread) {
 		}
 		child := s.newThread(r.Name, tobj, r.Body)
 		t.retThread = child
-		ev := base
-		ev.Obj = tobj
-		ev.Target = child.id
-		s.emit(ev)
+		base.Obj = tobj
+		base.Target = child.id
+		s.emit(base)
 
 	case event.KindJoin:
-		ev := base
-		ev.Target = r.Target
-		ev.Obj = s.threads[r.Target].obj
-		s.emit(ev)
+		base.Target = r.Target
+		base.Obj = s.threads[r.Target].obj
+		s.emit(base)
 
 	case event.KindAwait, event.KindSignal:
 		l := s.latches[r.Obj.ID]
 		if r.Kind == event.KindSignal {
 			l.set = true
 		}
-		ev := base
-		ev.Obj = r.Obj
-		s.emit(ev)
+		base.Obj = r.Obj
+		s.emit(base)
 
 	case event.KindStep, event.KindYield:
 		s.emit(base)
+		if r.Steps > 1 {
+			// Batched invisible steps (Ctx.Work): account the grant
+			// locally and leave the goroutine parked. The decremented
+			// request is indistinguishable from a freshly posted Step, no
+			// scheduler state the enabled set reads has changed, and the
+			// policy is consulted once per step either way — so the
+			// decision sequence, RNG draws and event stream are exactly
+			// those of the per-step protocol, minus two channel
+			// operations and a goroutine wakeup.
+			r.Steps--
+			s.enabledValid = true
+			return false
+		}
 
 	default:
 		s.panicVal = fmt.Errorf("sched: unexpected request %v", r)
-		return
+		return false
 	}
 
-	t.hs <- true
-	<-t.hs
-	if t.pending.Kind == event.KindExit {
-		t.alive = false
-		s.emit(Ev{Kind: event.KindExit, Thread: t.id, ThreadObj: t.obj})
-	} else if t.pending.Kind == event.KindAcquire {
-		// checkRealDeadlock (Algorithm 4): the moment a thread wants a
-		// lock, see whether the wait-for graph now has a cycle.
-		if dl := s.cycleThrough(t); dl != nil {
-			s.deadlock = dl
-		}
-	}
+	s.enabledValid = false
+	return true
 }
 
 // wake notifies one (or all) of ls's waiters and returns the woken
@@ -623,12 +806,12 @@ func (s *Scheduler) buildWaitGraph() *waitgraph.Graph {
 	}
 	g := s.wfg
 	g.Reset()
-	for _, t := range s.threads {
-		if !t.alive || t.pending.Kind != event.KindAcquire {
+	for _, t := range s.alive {
+		if t.pending.Kind != event.KindAcquire {
 			continue
 		}
-		ls, ok := s.locks[t.pending.Obj.ID]
-		if !ok || ls.free() || ls.holder == t.id {
+		ls := s.lookupLock(t.pending.Obj.ID)
+		if ls == nil || ls.free() || ls.holder == t.id {
 			continue
 		}
 		g.Wait(t.id, ls.holder)
@@ -660,7 +843,7 @@ func (s *Scheduler) findDeadlock() *DeadlockInfo {
 // stacks are deep-copied: a DeadlockInfo outlives the execution (and any
 // pooled reuse of its scheduler).
 func (s *Scheduler) describeCycle(cyc []event.TID) *DeadlockInfo {
-	info := &DeadlockInfo{Step: s.steps}
+	info := &DeadlockInfo{Step: s.steps, Edges: make([]DeadlockEdge, 0, len(cyc))}
 	for _, tid := range cyc {
 		t := s.threads[tid]
 		held := make([]*object.Obj, len(t.lockStack))

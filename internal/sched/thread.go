@@ -29,10 +29,19 @@ type Thread struct {
 	// buffered so the exiting goroutine never blocks, and drained by
 	// teardown, which leaves it empty for pooled reuse of the shell.
 	done chan struct{}
+	// work delivers the next run's body to a pooled shell's persistent
+	// goroutine (see loop); nil on shells that never joined a pool.
+	work chan func(*Ctx)
+	// looping marks the persistent goroutine as parked on work.
+	looping bool
+	// ctx is the reusable Ctx handed to this shell's bodies, so starting
+	// a thread does not allocate one.
+	ctx Ctx
 
 	pending Request
 	alive   bool
 	started bool // goroutine launched
+	posted  bool // first request posted (creator handshake done)
 	aborted bool // teardown told this thread to unwind
 
 	// Return values for requests that produce results (New, Spawn).
@@ -145,6 +154,7 @@ func (t *Thread) recycle() {
 	t.pending = Request{}
 	t.alive = false
 	t.started = false
+	t.posted = false
 	t.aborted = false
 	t.retObj = nil
 	t.retThread = nil
@@ -168,16 +178,49 @@ func (t *Thread) recycle() {
 	t.waitLoc = event.NoLoc
 }
 
-// post hands the pending request to the scheduler and blocks until the
-// scheduler executes it. It panics with abortPanic when the scheduler is
-// tearing down — including on re-entry from deferred cleanup (e.g. the
-// Release deferred by Sync) while an abort is already unwinding.
-func (t *Thread) post(r Request) {
+// postPending hands the pending request to the scheduler and blocks
+// until the scheduler executes it. It panics with abortPanic when the
+// scheduler is tearing down — including on re-entry from deferred
+// cleanup (e.g. the Release deferred by Sync) while an abort is already
+// unwinding. Callers (the Ctx methods) assign the request literal
+// directly to t.pending (field stores, no 100+-byte struct passed by
+// value) before calling.
+//
+// The first post hands control back to the creator blocked in newThread
+// (the creator holds the scheduling baton) and parks until granted.
+// Every later post happens while this goroutine holds the baton — its
+// previous grant resumed user code on this very goroutine — so the
+// thread runs the scheduling loop itself until it is granted again
+// (possibly immediately, with no context switch) or the baton moves on.
+func (t *Thread) postPending() {
 	if t.aborted {
 		panic(abortPanic{})
 	}
-	t.pending = r
-	t.hs <- true
+	if !t.posted {
+		t.posted = true
+		t.hs <- true
+		t.park()
+		return
+	}
+	t.sched.schedule(t)
+}
+
+// postExit posts the pending Exit request. Exit requests are never
+// granted, so the goroutine hands control away — to the creator for a
+// body that never reached a scheduling point, otherwise by scheduling
+// until the baton moves on or the run ends — and then exits.
+func (t *Thread) postExit() {
+	if !t.posted {
+		t.posted = true
+		t.hs <- true
+		return
+	}
+	t.sched.schedule(t)
+}
+
+// park blocks until the thread is granted (true) or aborted by teardown
+// (false).
+func (t *Thread) park() {
 	if !<-t.hs {
 		t.aborted = true
 		panic(abortPanic{})
@@ -199,19 +242,22 @@ func (c *Ctx) Scheduler() *Scheduler { return c.t.sched }
 // New allocates an object of the given type at site. The creating object
 // (for k-object-sensitivity) is the receiver of the innermost open call.
 func (c *Ctx) New(typ string, site event.Loc) *object.Obj {
-	c.t.post(Request{Kind: event.KindNew, Type: typ, Loc: site})
+	c.t.pending = Request{Kind: event.KindNew, Type: typ, Loc: site}
+	c.t.postPending()
 	return c.t.retObj
 }
 
 // Acquire acquires the monitor of o at site, blocking while another
 // thread holds it. Re-entrant.
 func (c *Ctx) Acquire(o *object.Obj, site event.Loc) {
-	c.t.post(Request{Kind: event.KindAcquire, Obj: o, Loc: site})
+	c.t.pending = Request{Kind: event.KindAcquire, Obj: o, Loc: site}
+	c.t.postPending()
 }
 
 // Release releases one level of the monitor of o at site.
 func (c *Ctx) Release(o *object.Obj, site event.Loc) {
-	c.t.post(Request{Kind: event.KindRelease, Obj: o, Loc: site})
+	c.t.pending = Request{Kind: event.KindRelease, Obj: o, Loc: site}
+	c.t.postPending()
 }
 
 // Sync runs body while holding the monitor of o, like a Java
@@ -226,8 +272,12 @@ func (c *Ctx) Sync(o *object.Obj, site event.Loc, body func()) {
 // a matching Return on exit. recv is the callee's receiver (nil for
 // static methods); it becomes the creator of objects body allocates.
 func (c *Ctx) Call(name string, recv *object.Obj, site event.Loc, body func()) {
-	c.t.post(Request{Kind: event.KindCall, Method: name, Recv: recv, Loc: site})
-	defer c.t.post(Request{Kind: event.KindReturn, Method: name, Loc: site})
+	c.t.pending = Request{Kind: event.KindCall, Method: name, Recv: recv, Loc: site}
+	c.t.postPending()
+	defer func() {
+		c.t.pending = Request{Kind: event.KindReturn, Method: name, Loc: site}
+		c.t.postPending()
+	}()
 	body()
 }
 
@@ -236,27 +286,45 @@ func (c *Ctx) Call(name string, recv *object.Obj, site event.Loc, body func()) {
 // executing (up to its first scheduling point) before Spawn returns, and
 // further interleaving is up to the scheduling policy.
 func (c *Ctx) Spawn(name string, tobj *object.Obj, site event.Loc, body func(*Ctx)) *Thread {
-	c.t.post(Request{Kind: event.KindSpawn, Name: name, ThreadObj: tobj, Body: body, Loc: site})
+	c.t.pending = Request{Kind: event.KindSpawn, Name: name, ThreadObj: tobj, Body: body, Loc: site}
+	c.t.postPending()
 	return c.t.retThread
 }
 
 // Join blocks until t terminates.
 func (c *Ctx) Join(t *Thread, site event.Loc) {
-	c.t.post(Request{Kind: event.KindJoin, Target: t.id, Loc: site})
+	c.t.pending = Request{Kind: event.KindJoin, Target: t.id, Loc: site}
+	c.t.postPending()
 }
 
 // Step executes one ordinary (non-synchronization) statement at site.
 func (c *Ctx) Step(site event.Loc) {
-	c.t.post(Request{Kind: event.KindStep, Loc: site})
+	c.t.pending = Request{Kind: event.KindStep, Loc: site}
+	c.t.postPending()
 }
 
 // Work executes n ordinary statements at site; it models the paper's
 // "long running methods" that skew naive random schedules away from the
 // deadlock window.
+//
+// The n steps are posted as one batched request: the thread parks once
+// and the scheduler accounts each grant locally, waking the goroutine
+// only on the last one (see execute). Every grant is still a full
+// scheduling decision, so the schedule is byte-identical to n separate
+// Steps — Options.UnbatchedWork selects that reference protocol for the
+// differential tests.
 func (c *Ctx) Work(n int, site event.Loc) {
-	for i := 0; i < n; i++ {
-		c.Step(site)
+	if n <= 0 {
+		return
 	}
+	if c.t.sched.opts.UnbatchedWork {
+		for i := 0; i < n; i++ {
+			c.Step(site)
+		}
+		return
+	}
+	c.t.pending = Request{Kind: event.KindStep, Loc: site, Steps: n}
+	c.t.postPending()
 }
 
 // NewLatch allocates a fresh latch at site.
@@ -269,13 +337,15 @@ func (c *Ctx) NewLatch(site event.Loc) *Latch {
 
 // Await blocks until l has been signaled.
 func (c *Ctx) Await(l *Latch, site event.Loc) {
-	c.t.post(Request{Kind: event.KindAwait, Obj: l.obj, Loc: site})
+	c.t.pending = Request{Kind: event.KindAwait, Obj: l.obj, Loc: site}
+	c.t.postPending()
 }
 
 // Signal sets l, waking every thread awaiting it. Signaling an already
 // set latch is a no-op.
 func (c *Ctx) Signal(l *Latch, site event.Loc) {
-	c.t.post(Request{Kind: event.KindSignal, Obj: l.obj, Loc: site})
+	c.t.pending = Request{Kind: event.KindSignal, Obj: l.obj, Loc: site}
+	c.t.postPending()
 }
 
 // Wait is Java's Object.wait: the caller must hold o's monitor; the
@@ -284,18 +354,22 @@ func (c *Ctx) Signal(l *Latch, site event.Loc) {
 // previous re-entrancy depth) before Wait returns. The re-acquisition
 // is an ordinary lock wait and can participate in deadlocks.
 func (c *Ctx) Wait(o *object.Obj, site event.Loc) {
-	c.t.post(Request{Kind: event.KindWait, Obj: o, Loc: site})
-	c.t.post(Request{Kind: event.KindAcquire, Obj: o, Loc: site, WaitResume: true})
+	c.t.pending = Request{Kind: event.KindWait, Obj: o, Loc: site}
+	c.t.postPending()
+	c.t.pending = Request{Kind: event.KindAcquire, Obj: o, Loc: site, WaitResume: true}
+	c.t.postPending()
 }
 
 // Notify wakes one thread waiting on o's monitor (the scheduler picks
 // which, seeded-randomly, mirroring the JVM's arbitrary choice). The
 // caller must hold the monitor. No-op if nobody waits.
 func (c *Ctx) Notify(o *object.Obj, site event.Loc) {
-	c.t.post(Request{Kind: event.KindNotify, Obj: o, Loc: site})
+	c.t.pending = Request{Kind: event.KindNotify, Obj: o, Loc: site}
+	c.t.postPending()
 }
 
 // NotifyAll wakes every thread waiting on o's monitor.
 func (c *Ctx) NotifyAll(o *object.Obj, site event.Loc) {
-	c.t.post(Request{Kind: event.KindNotify, Obj: o, Loc: site, All: true})
+	c.t.pending = Request{Kind: event.KindNotify, Obj: o, Loc: site, All: true}
+	c.t.postPending()
 }

@@ -1,8 +1,6 @@
 package workloads
 
 import (
-	"fmt"
-
 	"dlfuzz/internal/event"
 	"dlfuzz/internal/object"
 	"dlfuzz/internal/sched"
@@ -26,6 +24,25 @@ type listMethod struct {
 	name  string
 	outer event.Loc
 	inner event.Loc
+	// spawn is the precomputed "Class-method" thread name (filled by
+	// init), so the per-session spawns do not format strings on the
+	// scheduler hot path.
+	spawn string
+}
+
+func init() {
+	for ci := range listClasses {
+		cls := &listClasses[ci]
+		for mi := range cls.methods {
+			m := &cls.methods[mi]
+			m.spawn = cls.class + "-" + m.name
+		}
+	}
+	for ci := range mapSessions {
+		s := &mapSessions[ci]
+		s.aName = s.class + "-a"
+		s.bName = s.class + "-b"
+	}
 }
 
 var listClasses = []struct {
@@ -33,19 +50,19 @@ var listClasses = []struct {
 	methods []listMethod
 }{
 	{"ArrayList", []listMethod{
-		{"addAll", "SynchronizedList.addAll:644", "ArrayList.addAll:588"},
-		{"removeAll", "SynchronizedCollection.removeAll:394", "ArrayList.removeAll:696"},
-		{"retainAll", "SynchronizedCollection.retainAll:401", "ArrayList.retainAll:720"},
+		{name: "addAll", outer: "SynchronizedList.addAll:644", inner: "ArrayList.addAll:588"},
+		{name: "removeAll", outer: "SynchronizedCollection.removeAll:394", inner: "ArrayList.removeAll:696"},
+		{name: "retainAll", outer: "SynchronizedCollection.retainAll:401", inner: "ArrayList.retainAll:720"},
 	}},
 	{"Stack", []listMethod{
-		{"addAll", "SynchronizedList.addAll:644", "Vector.addAll:942"},
-		{"removeAll", "SynchronizedCollection.removeAll:394", "Vector.removeAll:980"},
-		{"retainAll", "SynchronizedCollection.retainAll:401", "Vector.retainAll:1001"},
+		{name: "addAll", outer: "SynchronizedList.addAll:644", inner: "Vector.addAll:942"},
+		{name: "removeAll", outer: "SynchronizedCollection.removeAll:394", inner: "Vector.removeAll:980"},
+		{name: "retainAll", outer: "SynchronizedCollection.retainAll:401", inner: "Vector.retainAll:1001"},
 	}},
 	{"LinkedList", []listMethod{
-		{"addAll", "SynchronizedList.addAll:644", "LinkedList.addAll:408"},
-		{"removeAll", "SynchronizedCollection.removeAll:394", "LinkedList.removeAll:512"},
-		{"retainAll", "SynchronizedCollection.retainAll:401", "LinkedList.retainAll:530"},
+		{name: "addAll", outer: "SynchronizedList.addAll:644", inner: "LinkedList.addAll:408"},
+		{name: "removeAll", outer: "SynchronizedCollection.removeAll:394", inner: "LinkedList.removeAll:512"},
+		{name: "retainAll", outer: "SynchronizedCollection.retainAll:401", inner: "LinkedList.retainAll:530"},
 	}},
 }
 
@@ -87,10 +104,10 @@ func listSession(c *sched.Ctx, class string, mi, mj listMethod) {
 			})
 		})
 	}
-	a := c.Spawn(fmt.Sprintf("%s-%s", class, mi.name), nil, "ListTest.main:61", func(c *sched.Ctx) {
+	a := c.Spawn(mi.spawn, nil, "ListTest.main:61", func(c *sched.Ctx) {
 		invoke(c, mi, l1, l2)
 	})
-	b := c.Spawn(fmt.Sprintf("%s-%s", class, mj.name), nil, "ListTest.main:64", func(c *sched.Ctx) {
+	b := c.Spawn(mj.spawn, nil, "ListTest.main:64", func(c *sched.Ctx) {
 		c.Work(25, "ListTest.fill:70")
 		invoke(c, mj, l2, l1)
 	})
@@ -98,14 +115,24 @@ func listSession(c *sched.Ctx, class string, mi, mj listMethod) {
 	c.Join(b, "ListTest.main:68")
 }
 
-var mapClasses = []string{"HashMap", "TreeMap", "WeakHashMap", "LinkedHashMap", "IdentityHashMap"}
+// mapClass is one synchronized-map class with its precomputed thread
+// names (filled by init, like listMethod.spawn).
+type mapClass struct {
+	class        string
+	aName, bName string
+}
+
+var mapSessions = []mapClass{
+	{class: "HashMap"}, {class: "TreeMap"}, {class: "WeakHashMap"},
+	{class: "LinkedHashMap"}, {class: "IdentityHashMap"},
+}
 
 // mapMethods are the two double-locking map operations; m1.equals(m2)
 // locks m1 then m2, and the batch read path (get-with-default over the
 // other map) does the same.
 var mapMethods = []listMethod{
-	{"equals", "SynchronizedMap.equals:721", "AbstractMap.equals:472"},
-	{"get", "SynchronizedMap.get:636", "AbstractMap.containsValue:364"},
+	{name: "equals", outer: "SynchronizedMap.equals:721", inner: "AbstractMap.equals:472"},
+	{name: "get", outer: "SynchronizedMap.get:636", inner: "AbstractMap.containsValue:364"},
 }
 
 // SyncMaps models the synchronized map benchmarks. Unlike the lists,
@@ -123,8 +150,8 @@ func SyncMaps() Workload {
 		PaperProb:   "0.52",
 		ExpectReal:  20,
 		Prog: func(c *sched.Ctx) {
-			for _, class := range mapClasses {
-				mapSession(c, class)
+			for i := range mapSessions {
+				mapSession(c, &mapSessions[i])
 			}
 		},
 	}
@@ -132,9 +159,9 @@ func SyncMaps() Workload {
 
 // mapSession races two threads over one pair of maps; each thread runs
 // both double-locking methods in sequence, giving 2x2 potential cycles.
-func mapSession(c *sched.Ctx, class string) {
-	m1 := c.New(class, "Collections.synchronizedMap:2274")
-	m2 := c.New(class, "Collections.synchronizedMap:2274")
+func mapSession(c *sched.Ctx, sess *mapClass) {
+	m1 := c.New(sess.class, "Collections.synchronizedMap:2274")
+	m2 := c.New(sess.class, "Collections.synchronizedMap:2274")
 	invoke := func(c *sched.Ctx, m listMethod, dst, src *object.Obj) {
 		c.Sync(dst, m.outer, func() {
 			c.Sync(src, m.inner, func() {
@@ -142,13 +169,13 @@ func mapSession(c *sched.Ctx, class string) {
 			})
 		})
 	}
-	a := c.Spawn(class+"-a", nil, "MapTest.main:41", func(c *sched.Ctx) {
+	a := c.Spawn(sess.aName, nil, "MapTest.main:41", func(c *sched.Ctx) {
 		for _, m := range mapMethods {
 			invoke(c, m, m1, m2)
 			c.Work(3, "MapTest.pause:47")
 		}
 	})
-	b := c.Spawn(class+"-b", nil, "MapTest.main:44", func(c *sched.Ctx) {
+	b := c.Spawn(sess.bName, nil, "MapTest.main:44", func(c *sched.Ctx) {
 		c.Work(60, "MapTest.fill:50")
 		for _, m := range mapMethods {
 			invoke(c, m, m2, m1)

@@ -72,24 +72,46 @@ if [ -f BENCH_pipeline.json ]; then
 fi
 go run ./cmd/dlbench -pipeline-json BENCH_pipeline.json -runs "${BENCHRUNS}"
 if [ -n "$baseline" ]; then
-	# Compare Phase II throughput per workload against the committed
-	# baseline. Wall-clock on shared runners is far too noisy to gate on,
-	# so a drop below a third of the baseline only warns.
-	steps_per_sec() {
-		awk '/"workload"/ { gsub(/[",]/, "", $2); w = $2 }
-		     /"stepsPerSec"/ { gsub(/,/, "", $2); print w, $2 }' "$1" | sort
+	# Compare the machine-dependent columns per workload against the
+	# committed baseline. Wall-clock on shared runners is far too noisy
+	# to gate on, so every comparison here only warns: throughput below
+	# a third of baseline, or allocations per step above thrice it.
+	metric() {
+		awk -v key="\"$2\"" '/"workload"/ { gsub(/[",]/, "", $2); w = $2 }
+		     $1 == key":" { gsub(/,/, "", $2); print w, $2 }' "$1" | sort
 	}
-	join <(steps_per_sec "$baseline") <(steps_per_sec BENCH_pipeline.json) | awk '
+	join <(metric "$baseline" stepsPerSec) <(metric BENCH_pipeline.json stepsPerSec) | awk '
 		$2 > 0 && $3 < $2 / 3 {
 			printf "WARN: %s stepsPerSec %s -> %s (fell below 1/3 of baseline)\n", $1, $2, $3
 			warned = 1
 		}
 		END { if (!warned) print "stepsPerSec within tolerance of committed baseline" }'
+	join <(metric "$baseline" allocsPerStep) <(metric BENCH_pipeline.json allocsPerStep) | awk '
+		$2 > 0 && $3 > $2 * 3 {
+			printf "WARN: %s allocsPerStep %s -> %s (rose above 3x baseline)\n", $1, $2, $3
+			warned = 1
+		}
+		END { if (!warned) print "allocsPerStep within tolerance of committed baseline" }'
 	rm -f "$baseline"
 fi
 
 echo "== phase1 bench: observation campaign + sharded closure =="
 go run ./cmd/dlbench -phase1-json BENCH_phase1.json -gen-seeds 8
+# The closure speedup gate needs real cores: at GOMAXPROCS=1 the sharded
+# rounds time-slice one CPU and speedup4 is pure scheduling noise. The
+# bench records the GOMAXPROCS it ran under; gate on that.
+benchprocs="$(awk '/"gomaxprocs"/ { gsub(/,/, "", $2); print $2; exit }' BENCH_phase1.json)"
+if [ "${benchprocs:-1}" -gt 1 ]; then
+	awk '/"maxLen"/ { gsub(/,/, "", $2); ml = $2 }
+	     /"speedup4"/ { gsub(/,/, "", $2)
+	         if ($2 + 0 <= 1.0) {
+	             printf "WARN: closure maxLen=%s speedup4=%s (parallel closure not faster than serial)\n", ml, $2
+	             warned = 1
+	         } }
+	     END { if (!warned) print "closure speedup4 > 1.0 at every maxLen" }' BENCH_phase1.json
+else
+	echo "closure speedup4 gate skipped (GOMAXPROCS=1)"
+fi
 
 echo "== replay smoke: witness round trip on philosophers =="
 witdir="$(mktemp -d)"
