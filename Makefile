@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build test race bench bench-smoke profile fuzz-smoke vet replay-smoke corpus-smoke corpus bakeoff-smoke
+.PHONY: ci build test race bench bench-smoke profile fuzz-smoke vet replay-smoke corpus-smoke corpus bakeoff-smoke blocking-smoke
 
 ci:
 	./scripts/ci.sh
@@ -64,6 +64,24 @@ profile:
 
 fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzParser -fuzztime=10s ./internal/lang/
+
+# Run the blocking-deadlock campaign over the curated chan/WaitGroup
+# suite at widths 1/2/4 and require byte-identical reports (the CI
+# blocking smoke, runnable on its own). Exit 1 from the CLI means
+# "deadlocks found" — expected for the planted bugs.
+blocking-smoke:
+	@dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/dlfuzz" ./cmd/dlfuzz || exit 1; \
+	for name in $$("$$dir/dlfuzz" -list | \
+		awk 'insuite && NF { print $$1 } /blocking suite/ { insuite = 1 }'); do \
+		for w in 1 2 4; do \
+			"$$dir/dlfuzz" -blocking -runs 20 -parallel $$w \
+				-workload "$$name" > "$$dir/$$name.$$w" || [ $$? -eq 1 ] || exit 1; \
+		done; \
+		cmp "$$dir/$$name.1" "$$dir/$$name.2" || exit 1; \
+		cmp "$$dir/$$name.1" "$$dir/$$name.4" || exit 1; \
+		echo "$$name: identical at widths 1/2/4"; \
+	done
 
 # Harvest a small generator corpus into a temp dir and re-validate it,
 # then re-validate the committed corpus (parse, cycle-key survival, and

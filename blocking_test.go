@@ -1,0 +1,57 @@
+package dlfuzz_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dlfuzz"
+	"dlfuzz/internal/workloads"
+)
+
+// TestFindBlockingFacade: the public entry point classifies a planted
+// channel cycle as a total deadlock on every seed and is identical at
+// every Parallelism.
+func TestFindBlockingFacade(t *testing.T) {
+	w, ok := workloads.ByName("chan-cycle-unbuf")
+	if !ok {
+		t.Fatal("workload missing")
+	}
+	opts := dlfuzz.DefaultBlockingOptions()
+	opts.Runs = 30
+	opts.Parallelism = 1
+	serial := dlfuzz.FindBlocking(w.Prog, opts)
+	if serial.Runs != 30 || serial.BlockedRuns != 30 || serial.TotalRuns != 30 {
+		t.Fatalf("runs=%d blocked=%d total=%d", serial.Runs, serial.BlockedRuns, serial.TotalRuns)
+	}
+	for _, v := range serial.Verdicts {
+		if !strings.HasPrefix(v.Key, "total:") || v.Partial {
+			t.Errorf("verdict %q partial=%v, want total", v.Key, v.Partial)
+		}
+	}
+	for _, width := range []int{2, 4} {
+		opts.Parallelism = width
+		got := dlfuzz.FindBlocking(w.Prog, opts)
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("width %d report differs from serial", width)
+		}
+	}
+}
+
+// TestFindBlockingPartialLeak: a goroutine-leak workload yields a
+// partial verdict whose blocked threads survive into the public report.
+func TestFindBlockingPartialLeak(t *testing.T) {
+	w, _ := workloads.ByName("chan-orphan-recv")
+	rep := dlfuzz.FindBlocking(w.Prog, dlfuzz.BlockingOptions{Runs: 10, Parallelism: 1})
+	if rep.PartialRuns != 10 || len(rep.Verdicts) != 1 {
+		t.Fatalf("partial=%d verdicts=%d", rep.PartialRuns, len(rep.Verdicts))
+	}
+	v := rep.Verdicts[0]
+	if v.Example == nil || len(v.Example.Threads) != 1 {
+		t.Fatalf("example = %v", v.Example)
+	}
+	bt := v.Example.Threads[0]
+	if bt.Name != "collector" || bt.Kind.String() != "recv" {
+		t.Errorf("stuck thread = %v", bt)
+	}
+}

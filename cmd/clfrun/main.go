@@ -27,7 +27,8 @@ func main() {
 }
 
 // run is main with injectable args and streams, so the outcome report
-// can be golden-tested. Exit codes: 0 clean, 1 deadlock, 2 error.
+// can be golden-tested. Exit codes: 0 clean, 1 deadlock (lock cycle or
+// a partial/total blocking verdict), 2 error.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("clfrun", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -97,6 +98,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if res.Deadlock != nil {
 		fmt.Fprintln(stdout, res.Deadlock)
 	}
+	if res.Blocked != nil {
+		fmt.Fprintln(stdout, res.Blocked)
+	}
 	if replayer != nil && replayer.Diverged() {
 		fmt.Fprintln(stdout, "warning: replay diverged from the recorded schedule")
 	}
@@ -114,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "schedule: %d decisions written to %s\n", len(recorder.Schedule()), *recordOut)
 	}
-	if res.Outcome == dlfuzz.Deadlock {
+	if res.Outcome == dlfuzz.Deadlock || res.Blocked != nil {
 		return 1
 	}
 	return 0

@@ -88,6 +88,32 @@ func TestRunTraceFile(t *testing.T) {
 	}
 }
 
+// TestRunBlockedExitCode pins the exit-code contract for blocking
+// verdicts: a run that stalls with a partial deadlock exits 1 and
+// prints the BlockedInfo line; a healthy blocking program exits 0.
+func TestRunBlockedExitCode(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-seed", "3",
+		filepath.Join("..", "..", "testdata", "wgleak.clf"),
+	}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("wgleak exit %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("partial deadlock:")) {
+		t.Errorf("missing partial-deadlock report:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{
+		filepath.Join("..", "..", "testdata", "pipeline.clf"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("pipeline exit %d, want 0; stderr: %s", code, stderr.String())
+	}
+}
+
 // TestRunUsageErrors covers the non-analysis exit paths.
 func TestRunUsageErrors(t *testing.T) {
 	var stdout, stderr bytes.Buffer

@@ -6,8 +6,14 @@
 //
 //	dlfuzz [flags] program.clf
 //	dlfuzz [flags] -workload jigsaw
+//	dlfuzz -blocking [flags] program.clf | -workload chan-cycle-unbuf
 //	dlfuzz -list
 //	dlfuzz replay witness.jsonl... | witness-dir
+//
+// -blocking switches from the two-phase mutex pipeline to a blocking-
+// deadlock campaign: seeded runs under a completion-delaying bias
+// (-blocking-bias), with stuck runs classified as partial or total
+// deadlocks (see docs/PARTIAL_DEADLOCKS.md).
 //
 // Flags select the variant (abstraction, context, yields) and the total
 // Phase II execution budget. Phase II is one multi-cycle campaign: the
@@ -62,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stopAfter = fs.Int("stop-after", 0, "stop the campaign after N targeted reproductions (0 = run all seeds)")
 		witDir    = fs.String("witness-dir", "", "write one replayable witness trace per confirmed cycle into this directory")
 		journalTo = fs.String("journal", "", "stream a JSONL run journal for the Phase II campaign to this file")
+		blocking  = fs.Bool("blocking", false, "run a blocking-deadlock campaign (channels, WaitGroups, waits) instead of the two-phase mutex pipeline")
+		bias      = fs.Float64("blocking-bias", 0.7, "with -blocking: per-decision probability of delaying completing operations (0 = uniform scheduler)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -71,6 +79,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, w := range workloads.All() {
 			fmt.Fprintf(stdout, "%-10s %s\n", w.Name, w.Desc)
 		}
+		fmt.Fprintln(stdout, "-- blocking suite (use with -blocking) --")
+		for _, w := range workloads.Blocking() {
+			fmt.Fprintf(stdout, "%-18s %s\n", w.Name, w.Desc)
+		}
 		return 0
 	}
 
@@ -78,6 +90,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "dlfuzz:", err)
 		return 2
+	}
+
+	if *blocking {
+		return runBlockingCampaign(stdout, prog, name, dlfuzz.BlockingOptions{
+			Runs: *runs, Bias: *bias, Parallelism: *parallel, StopAfter: *stopAfter,
+		})
 	}
 	// Canonical program reference, as recorded in witness and journal
 	// headers and resolved back by `dlfuzz replay`.
@@ -198,6 +216,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "\n%d of %d potential cycles confirmed as real deadlocks\n", confirmed, len(find.Cycles))
 	if confirmed > 0 || len(find.ObservedDeadlocks) > 0 {
 		return 1 // like a test runner: deadlocks found => non-zero exit
+	}
+	return 0
+}
+
+// runBlockingCampaign is the -blocking mode: seeds 0..runs-1 under the
+// (optionally biased) random scheduler, stuck runs classified as
+// partial or total deadlocks and aggregated by canonical verdict key.
+// The report is deterministic for a fixed run count at any -parallel
+// setting. Exit 1 when any run blocked or deadlocked.
+func runBlockingCampaign(stdout io.Writer, prog func(*dlfuzz.Ctx), name string, opts dlfuzz.BlockingOptions) int {
+	fmt.Fprintf(stdout, "== %s: blocking campaign (%d runs, bias %.2f) ==\n", name, opts.Runs, opts.Bias)
+	rep := dlfuzz.FindBlocking(prog, opts)
+	fmt.Fprintf(stdout, "runs: %d  completed=%d lock-deadlock=%d step-limit=%d blocked=%d (partial=%d, total=%d)\n",
+		rep.Runs, rep.CompletedRuns, rep.DeadlockRuns, rep.StepLimitRuns,
+		rep.BlockedRuns, rep.PartialRuns, rep.TotalRuns)
+	fmt.Fprintf(stdout, "distinct stuck states: %d\n", len(rep.Verdicts))
+	for i, v := range rep.Verdicts {
+		kind := "total"
+		if v.Partial {
+			kind = "partial"
+		}
+		fmt.Fprintf(stdout, "verdict %d: %s deadlock  runs=%d  first-seed=%d\n", i+1, kind, v.Runs, v.FirstSeed)
+		for _, bt := range v.Example.Threads {
+			fmt.Fprintf(stdout, "  stuck: %s\n", bt)
+		}
+	}
+	if rep.BlockedRuns > 0 || rep.DeadlockRuns > 0 {
+		return 1
 	}
 	return 0
 }

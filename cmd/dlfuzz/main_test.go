@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -155,5 +156,67 @@ func TestReplayUsageErrors(t *testing.T) {
 	empty := t.TempDir()
 	if code := run([]string{"replay", empty}, &stdout, &stderr); code != 2 {
 		t.Errorf("empty directory: exit %d, want 2", code)
+	}
+}
+
+// TestRunBlockingGolden pins the -blocking campaign's end-to-end output
+// on a CLF channel cycle and on a built-in blocking workload: run
+// counts, verdict keys, and stuck-thread lines are deterministic for a
+// fixed run count at any -parallel setting. Regenerate with
+// `go test ./cmd/dlfuzz -update`.
+func TestRunBlockingGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{
+			"clf-chancycle",
+			[]string{"-blocking", "-runs", "20", "-parallel", "2",
+				filepath.Join("..", "..", "testdata", "chancycle.clf")},
+			"chancycle-blocking.golden",
+		},
+		{
+			"workload-wgleak",
+			[]string{"-blocking", "-runs", "20", "-parallel", "2", "-workload", "wg-forgotten-done"},
+			"wgleak-blocking.golden",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(c.args, &stdout, &stderr)
+			if code != 1 {
+				t.Errorf("exit code = %d, want 1 (deadlocks found); stderr: %s", code, stderr.String())
+			}
+			if stderr.Len() != 0 {
+				t.Errorf("unexpected stderr: %s", stderr.String())
+			}
+			golden := filepath.Join("testdata", c.golden)
+			if *update {
+				if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create it)", err)
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("output diverged from golden file:\n--- got ---\n%s\n--- want ---\n%s", stdout.Bytes(), want)
+			}
+		})
+	}
+}
+
+// TestRunBlockingClean: a correct program exits 0 under -blocking.
+func TestRunBlockingClean(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-blocking", "-runs", "10", "-workload", "chan-pipeline-ok"}, &stdout, &stderr)
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "blocked=0") {
+		t.Errorf("output missing clean summary: %s", stdout.String())
 	}
 }

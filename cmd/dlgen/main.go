@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	dlgen generate -seed N [-preset small|medium|large] [-o file]
+//	dlgen generate -seed N [-preset small|medium|large|blocking] [-o file]
 //	dlgen harvest  [-dir testdata/corpus] [-seeds 200] [-confirm-runs 5] ...
 //	dlgen minimize [-keys k1,k2,...] program.clf
 //	dlgen status   [-dir testdata/corpus] [-check]
@@ -58,7 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 func presetFlag(name string, stderr io.Writer) (gen.Config, bool) {
 	cfg, ok := gen.ByPreset(name)
 	if !ok {
-		fmt.Fprintf(stderr, "dlgen: unknown preset %q (want small, medium, or large)\n", name)
+		fmt.Fprintf(stderr, "dlgen: unknown preset %q (want small, medium, large, or blocking)\n", name)
 	}
 	return cfg, ok
 }
@@ -68,7 +68,7 @@ func runGenerate(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		seed   = fs.Int64("seed", 1, "generator seed")
-		preset = fs.String("preset", "medium", "generator preset: small, medium, or large")
+		preset = fs.String("preset", "medium", "generator preset: small, medium, large, or blocking")
 		out    = fs.String("o", "", "write the program to this file instead of stdout")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -98,7 +98,7 @@ func runHarvest(args []string, stdout, stderr io.Writer) int {
 		dir         = fs.String("dir", "testdata/corpus", "corpus directory")
 		seeds       = fs.Int("seeds", 200, "generator seeds to scan")
 		start       = fs.Int64("start", 1, "first generator seed")
-		preset      = fs.String("preset", "medium", "generator preset: small, medium, or large")
+		preset      = fs.String("preset", "medium", "generator preset: small, medium, large, or blocking")
 		runs        = fs.Int("p1-runs", 4, "Phase I observation runs per program")
 		maxSteps    = fs.Int("max-steps", 200000, "step bound per execution")
 		confirmRuns = fs.Int("confirm-runs", 5, "Phase II executions per kept cycle (0 = skip confirmation)")

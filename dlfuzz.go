@@ -48,6 +48,17 @@ type (
 	// campaign streams through ConfirmOptions.OnRun (see internal/obs
 	// and docs/OBSERVABILITY.md for the journal format built on it).
 	RunRecord = obs.RunRecord
+	// Chan is a Go-style channel handle (Ctx.NewChan/Send/Recv/Close).
+	Chan = sched.Chan
+	// WaitGroup is a counter barrier handle (Ctx.NewWaitGroup/WGAdd/
+	// WGDone/WGWait).
+	WaitGroup = sched.WaitGroup
+	// BlockedInfo classifies the provably stuck threads of a run that
+	// ended blocked on channels, WaitGroups, or monitor waits — a
+	// partial or total deadlock (see docs/PARTIAL_DEADLOCKS.md).
+	BlockedInfo = sched.BlockedInfo
+	// BlockedThread is one stuck thread inside a BlockedInfo.
+	BlockedThread = sched.BlockedThread
 )
 
 // Execution outcomes.
@@ -350,6 +361,63 @@ func ConfirmAll(prog func(*Ctx), cycles []*Cycle, opts ConfirmOptions) *MultiRep
 		out.Reports = append(out.Reports, &ConfirmReport{CycleSummary: sum.Cycles[i]})
 	}
 	return out
+}
+
+// BlockingOptions configures a blocking-deadlock campaign.
+type BlockingOptions struct {
+	// Runs is the number of seeded executions (default 100), seeds
+	// 0..Runs-1.
+	Runs int
+	// MaxSteps bounds each execution (0 = scheduler default).
+	MaxSteps int
+	// Bias in (0,1] delays completing operations (channel sends and
+	// closes, signals, notifies, WaitGroup decrements) with that
+	// probability at each scheduling decision, biasing runs toward
+	// blocking interleavings; 0 means the plain uniform scheduler.
+	Bias float64
+	// Parallelism shards seeds across workers; the report is identical
+	// at every setting (0 = one per core, 1 = serial).
+	Parallelism int
+	// StopAfter, when positive, ends the campaign once that many runs
+	// ended with a blocked classification.
+	StopAfter int
+}
+
+// DefaultBlockingOptions returns 100 runs under a 0.7 completion-delay
+// bias.
+func DefaultBlockingOptions() BlockingOptions {
+	return BlockingOptions{Runs: 100, Bias: 0.7}
+}
+
+// BlockingReport is the outcome of a blocking campaign: run counts by
+// classification and the distinct stuck-state verdicts, aggregated by
+// canonical key (BlockedInfo.Key) and ordered by key. Deterministic for
+// a fixed seed range at every Parallelism.
+type BlockingReport struct {
+	campaign.BlockingSummary
+}
+
+// Verdict is one distinct blocked classification with its run count
+// and first witnessing seed.
+type Verdict = campaign.BlockingVerdict
+
+// FindBlocking runs a blocking-deadlock campaign over prog: unlike the
+// two-phase mutex pipeline (Find/ConfirmAll), which targets lock-order
+// cycles, this campaign detects executions whose threads end provably
+// stuck on channel operations, WaitGroup waits, or monitor waits, and
+// classifies each stuck state as a partial or total deadlock (see
+// docs/PARTIAL_DEADLOCKS.md). Lock-cycle deadlocks encountered on the
+// way are counted (DeadlockRuns) but not classified — run the mutex
+// pipeline for those.
+func FindBlocking(prog func(*Ctx), opts BlockingOptions) *BlockingReport {
+	if opts.Runs == 0 {
+		opts.Runs = 100
+	}
+	sum := campaign.Blocking(prog, opts.Runs, opts.MaxSteps, opts.Bias, campaign.Options{
+		Parallelism: opts.Parallelism,
+		StopAfter:   opts.StopAfter,
+	})
+	return &BlockingReport{BlockingSummary: *sum}
 }
 
 // CheckOptions configures the full two-phase pipeline.

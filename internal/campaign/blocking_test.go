@@ -1,0 +1,89 @@
+package campaign_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dlfuzz/internal/campaign"
+	"dlfuzz/internal/workloads"
+)
+
+// TestBlockingCampaignWidths: the merged blocking summary is
+// byte-identical at every Parallelism, for both the uniform and the
+// biased scheduler.
+func TestBlockingCampaignWidths(t *testing.T) {
+	for _, name := range []string{"chan-cycle-unbuf", "chan-missing-close", "wg-forgotten-done", "chan-pipeline-ok"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("workload %q missing", name)
+		}
+		for _, bias := range []float64{0, 0.7} {
+			serial := campaign.Blocking(w.Prog, 24, 50_000, bias, campaign.Options{Parallelism: 1})
+			for _, width := range []int{2, 4} {
+				got := campaign.Blocking(w.Prog, 24, 50_000, bias, campaign.Options{Parallelism: width})
+				if !reflect.DeepEqual(serial, got) {
+					t.Errorf("%s bias=%v: width %d summary differs from serial", name, bias, width)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockingCampaignVerdicts: the aggregation reflects each planted
+// bug — every deadlocking workload's runs all collapse onto verdicts of
+// the expected partial/total polarity, and the controls stay clean.
+func TestBlockingCampaignVerdicts(t *testing.T) {
+	for _, w := range workloads.Blocking() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			sum := campaign.Blocking(w.Prog, 20, 50_000, 0, campaign.Options{Parallelism: 1})
+			if sum.Runs != 20 || sum.Steps == 0 {
+				t.Fatalf("runs=%d steps=%d", sum.Runs, sum.Steps)
+			}
+			if w.ExpectPartial || w.ExpectTotal {
+				if sum.BlockedRuns != 20 {
+					t.Fatalf("blocked %d/20 runs: %+v", sum.BlockedRuns, sum)
+				}
+				if len(sum.Verdicts) == 0 {
+					t.Fatal("no verdicts aggregated")
+				}
+				for _, v := range sum.Verdicts {
+					if v.Partial != w.ExpectPartial {
+						t.Errorf("verdict %q partial=%v, want %v", v.Key, v.Partial, w.ExpectPartial)
+					}
+					if v.Example == nil || v.Example.Key() != v.Key {
+						t.Errorf("verdict %q example mismatch", v.Key)
+					}
+				}
+				if w.ExpectPartial && sum.PartialRuns != 20 {
+					t.Errorf("partial on %d/20", sum.PartialRuns)
+				}
+				if w.ExpectTotal && sum.TotalRuns != 20 {
+					t.Errorf("total on %d/20", sum.TotalRuns)
+				}
+			} else if w.Name == "spin-not-flagged" {
+				if sum.StepLimitRuns != 20 || sum.BlockedRuns != 0 {
+					t.Errorf("steplimit=%d blocked=%d, want 20/0", sum.StepLimitRuns, sum.BlockedRuns)
+				}
+			} else {
+				if sum.CompletedRuns != 20 || sum.BlockedRuns != 0 {
+					t.Errorf("completed=%d blocked=%d, want 20/0", sum.CompletedRuns, sum.BlockedRuns)
+				}
+			}
+		})
+	}
+}
+
+// TestBlockingCampaignStopAfter: StopAfter bounds the campaign by
+// blocked runs, identically at any width.
+func TestBlockingCampaignStopAfter(t *testing.T) {
+	w, _ := workloads.ByName("chan-orphan-recv")
+	serial := campaign.Blocking(w.Prog, 100, 50_000, 0, campaign.Options{Parallelism: 1, StopAfter: 5})
+	if serial.Runs != 5 || serial.BlockedRuns != 5 {
+		t.Fatalf("runs=%d blocked=%d, want 5/5", serial.Runs, serial.BlockedRuns)
+	}
+	par := campaign.Blocking(w.Prog, 100, 50_000, 0, campaign.Options{Parallelism: 4, StopAfter: 5})
+	if !reflect.DeepEqual(serial, par) {
+		t.Error("StopAfter result differs across widths")
+	}
+}

@@ -46,6 +46,11 @@ const (
 	KindExit                // thread termination (synthetic)
 	KindWait                // monitor wait: release the monitor, block for a notify
 	KindNotify              // monitor notify: wake one/all waiters
+	KindChanSend            // channel send: block until a receiver or buffer space
+	KindChanRecv            // channel receive: block until a sender, a buffered value, or close
+	KindChanClose           // channel close: wake all blocked receivers
+	KindWGAdd               // WaitGroup counter adjustment (add/done)
+	KindWGWait              // block until a WaitGroup counter reaches zero
 )
 
 var kindNames = [...]string{
@@ -61,8 +66,13 @@ var kindNames = [...]string{
 	KindAwait:   "Await",
 	KindSignal:  "Signal",
 	KindExit:    "Exit",
-	KindWait:    "Wait",
-	KindNotify:  "Notify",
+	KindWait:      "Wait",
+	KindNotify:    "Notify",
+	KindChanSend:  "ChanSend",
+	KindChanRecv:  "ChanRecv",
+	KindChanClose: "ChanClose",
+	KindWGAdd:     "WGAdd",
+	KindWGWait:    "WGWait",
 }
 
 // NumKinds is the number of statement kinds, for tables indexed by Kind
@@ -102,8 +112,9 @@ type Event struct {
 	Thread TID
 	Loc    Loc
 	// Lock is the object id of the lock for Acquire/Release, the
-	// created object for New, and the spawned/joined thread's object
-	// for Spawn/Join. Zero otherwise.
+	// created object for New, the spawned/joined thread's object for
+	// Spawn/Join, the channel for ChanSend/ChanRecv/ChanClose, and the
+	// WaitGroup for WGAdd/WGWait. Zero otherwise.
 	Lock uint64
 	// Method is the callee name for Call/Return events.
 	Method string
@@ -116,7 +127,8 @@ func (e Event) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "#%d %s %s", e.Seq, e.Thread, e.Kind)
 	switch e.Kind {
-	case KindAcquire, KindRelease, KindNew, KindSpawn, KindJoin:
+	case KindAcquire, KindRelease, KindNew, KindSpawn, KindJoin,
+		KindChanSend, KindChanRecv, KindChanClose, KindWGAdd, KindWGWait:
 		fmt.Fprintf(&b, "(o%d)", e.Lock)
 	case KindCall, KindReturn:
 		fmt.Fprintf(&b, "(%s)", e.Method)

@@ -137,6 +137,52 @@ type NotifyStmt struct {
 
 func (s *NotifyStmt) stmtPos() Pos { return s.Pos }
 
+// SendStmt is `send ch;` or `send ch, v;`: a Go-style channel send,
+// blocking until a receiver rendezvous or buffer space exists. A send
+// without a value sends nil (a pure synchronization token).
+type SendStmt struct {
+	Pos Pos
+	Ch  Expr
+	Val Expr // nil for a bare `send ch;`
+}
+
+func (s *SendStmt) stmtPos() Pos { return s.Pos }
+
+// CloseStmt is `close ch;`: close the channel, waking every blocked
+// and future receiver. Closing a closed channel is a runtime error.
+type CloseStmt struct {
+	Pos Pos
+	Ch  Expr
+}
+
+func (s *CloseStmt) stmtPos() Pos { return s.Pos }
+
+// WGAddStmt is `wgadd wg, n;`: adjust the WaitGroup counter by n.
+// Driving the counter negative is a runtime error.
+type WGAddStmt struct {
+	Pos Pos
+	WG  Expr
+	N   Expr
+}
+
+func (s *WGAddStmt) stmtPos() Pos { return s.Pos }
+
+// WGDoneStmt is `wgdone wg;`: decrement the WaitGroup counter by one.
+type WGDoneStmt struct {
+	Pos Pos
+	WG  Expr
+}
+
+func (s *WGDoneStmt) stmtPos() Pos { return s.Pos }
+
+// WGWaitStmt is `wgwait wg;`: block until the counter reaches zero.
+type WGWaitStmt struct {
+	Pos Pos
+	WG  Expr
+}
+
+func (s *WGWaitStmt) stmtPos() Pos { return s.Pos }
+
 // ReturnStmt returns from the enclosing function.
 type ReturnStmt struct {
 	Pos Pos
@@ -221,6 +267,32 @@ type NewLatchExpr struct {
 }
 
 func (e *NewLatchExpr) exprPos() Pos { return e.Pos }
+
+// NewChanExpr allocates a channel: `newchan` (unbuffered) or
+// `newchan(n)` (capacity n). Its Pos is the allocation site label.
+type NewChanExpr struct {
+	Pos Pos
+	Cap Expr // nil for unbuffered
+}
+
+func (e *NewChanExpr) exprPos() Pos { return e.Pos }
+
+// NewWGExpr allocates a WaitGroup: `newwg`.
+type NewWGExpr struct {
+	Pos Pos
+}
+
+func (e *NewWGExpr) exprPos() Pos { return e.Pos }
+
+// RecvExpr is `recv ch`: a Go-style channel receive, blocking until a
+// sender, a buffered value, or a close provides one (a closed, drained
+// channel yields nil).
+type RecvExpr struct {
+	Pos Pos
+	Ch  Expr
+}
+
+func (e *RecvExpr) exprPos() Pos { return e.Pos }
 
 // CallExpr invokes a declared function.
 type CallExpr struct {

@@ -49,6 +49,11 @@ func FuzzInterp(f *testing.F) {
 		f.Add(gen.Generate(seed, gen.Small()))
 		f.Add(gen.Generate(seed, gen.Medium()))
 	}
+	// Blocking-preset output reaches the channel/WaitGroup scheduler
+	// paths, including runs that end in a classified Stall.
+	for seed := int64(1); seed <= 3; seed++ {
+		f.Add(gen.Generate(seed, gen.Blocking()))
+	}
 	// Malformed-but-parsable slivers: unbounded loop and recursion must
 	// hit the step bound, runtime type errors must surface as
 	// *lang.RuntimeError.
@@ -56,6 +61,16 @@ func FuzzInterp(f *testing.F) {
 	f.Add("fn f() { f(); } fn main() { f(); }")
 	f.Add("fn main() { join 1; }")
 	f.Add("fn main() { sync (nil) { } }")
+	// Channel/WaitGroup misuse must surface as *lang.RuntimeError (the
+	// interpreter converts the scheduler's misuse aborts), and blocked
+	// programs must terminate through the stall path, not the step
+	// bound.
+	f.Add("fn main() { var ch = newchan; close ch; send ch; }")
+	f.Add("fn main() { var ch = newchan; close ch; close ch; }")
+	f.Add("fn main() { var wg = newwg; wgdone wg; }")
+	f.Add("fn main() { var ch = newchan; var v = recv ch; }")
+	f.Add("fn main() { var wg = newwg; wgadd wg, 1; wgwait wg; }")
+	f.Add("fn main() { send 0; }")
 
 	f.Fuzz(func(t *testing.T, src string) {
 		prog, err := lang.Parse("fuzz.clf", src)

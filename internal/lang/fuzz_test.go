@@ -51,6 +51,15 @@ func seedCorpus(f *testing.F) {
 	f.Add(`"esc \n \t \" \\"`)
 	f.Add(`a && b || c <= d != e`)
 	f.Add("fn main() { var x = 1; }")
+	// Blocking-op surface syntax: statement keywords with operand
+	// lists, the optional newchan capacity, and recv as a prefix
+	// operator inside larger expressions.
+	f.Add("fn main() { var ch = newchan; send ch; close ch; }")
+	f.Add("fn main() { var ch = newchan(2); send ch, 1 + 2; var v = recv ch; }")
+	f.Add("fn main() { var wg = newwg; wgadd wg, 2; wgdone wg; wgwait wg; }")
+	f.Add("fn main() { var x = recv recv nil; }")
+	f.Add("fn main() { send; }")
+	f.Add("fn main() { var c = newchan(; }")
 }
 
 // checkError asserts a front-end failure is well-formed: a positioned

@@ -18,8 +18,13 @@
 // Programs are runtime-error free by construction (every variable and
 // registry field is defined before use, loops are counter-bounded, the
 // helper call graph is acyclic) so an execution always ends in
-// Completed or — the interesting case — Deadlock, never in a stall or
-// a runaway step-limit hit.
+// Completed or — the interesting case — Deadlock, never in a runaway
+// step-limit hit. The classic presets (small, medium, large) never
+// stall either; the blocking preset adds channel and WaitGroup
+// operations whose counts need not balance, so its runs may also end
+// in a Stall carrying a Result.Blocked partial/total-deadlock
+// classification (still never a runtime error: close is never emitted
+// and WaitGroup counters cannot go negative).
 //
 // The emitted layout is load-bearing for internal/corpus's minimizer:
 // exactly one statement per line, block headers end in "{", every "}"
@@ -66,6 +71,23 @@ type Config struct {
 	MaxWork  int
 	// Loops enables counter-bounded while loops.
 	Loops bool
+	// Chans is the number of shared channels main allocates and
+	// publishes through registry fields (reg.ch0..). Odd-numbered
+	// channels get buffer capacity ChanCap; even-numbered ones are
+	// unbuffered rendezvous channels. Workers send and receive on them
+	// at random, so send/recv counts rarely balance and runs can end in
+	// a Stall with a Result.Blocked classification. `close` is never
+	// emitted, so channel misuse errors are impossible by construction.
+	// The zero value disables channel emission entirely, which is what
+	// keeps the classic presets byte-identical.
+	Chans   int
+	ChanCap int
+	// WGs is the number of shared WaitGroups (reg.wg0..). Main adds
+	// Threads to each counter before the first spawn; each worker emits
+	// at most one wgdone per group, outside loops, so the counter can
+	// never go negative — but a wgdone guarded by a racy branch can be
+	// skipped, leaving main's wgwait stuck. 0 disables WaitGroups.
+	WGs int
 }
 
 // Small returns the smallest useful preset: two threads over two locks.
@@ -95,6 +117,17 @@ func Large() Config {
 	}
 }
 
+// Blocking returns the blocking-operation preset: channels and a
+// WaitGroup layered over a small lock mix. Unlike the classic presets,
+// its programs may also end in a Stall (see Config.Chans).
+func Blocking() Config {
+	return Config{
+		Preset: "blocking", Threads: 3, Locks: 2, FactoryLocks: 1, Slots: 1,
+		Helpers: 1, MaxSyncDepth: 2, MaxBlockDepth: 4, MaxStmts: 4, MaxWork: 10,
+		Chans: 2, ChanCap: 1, WGs: 1,
+	}
+}
+
 // ByPreset resolves a preset name.
 func ByPreset(name string) (Config, bool) {
 	switch name {
@@ -104,6 +137,8 @@ func ByPreset(name string) (Config, bool) {
 		return Medium(), true
 	case "large":
 		return Large(), true
+	case "blocking":
+		return Blocking(), true
 	}
 	return Config{}, false
 }
@@ -269,6 +304,23 @@ func (g *generator) worker(i int) {
 	if g.rng.Intn(3) > 0 {
 		g.stmtRun(sc, 0, 0)
 	}
+	// Each worker ends with at most one wgdone per group, always at the
+	// top level (never inside a loop), so a group's counter can never go
+	// negative: main adds Threads and at most Threads dones run. A done
+	// that is skipped or guarded by a racy branch is what leaves main's
+	// wgwait stuck.
+	for j := 0; j < g.cfg.WGs; j++ {
+		switch g.rng.Intn(4) {
+		case 0:
+			// Skipped: this worker deterministically leaks the group.
+		case 1:
+			g.w.open(fmt.Sprintf("if %s", g.cond()))
+			g.w.linef("wgdone reg.wg%d;", j)
+			g.w.close()
+		default:
+			g.w.linef("wgdone reg.wg%d;", j)
+		}
+	}
 	g.w.close()
 }
 
@@ -385,6 +437,24 @@ func (g *generator) stmt(sc *fnScope, syncDepth, blockDepth int) {
 				sc.locks[g.rng.Intn(len(sc.locks))])
 		})
 	}
+	if g.cfg.Chans > 0 {
+		// Channel operations may block forever; that is the point of the
+		// blocking preset. close is never emitted, so no channel misuse
+		// error is reachable.
+		add(2, func() {
+			ch := g.rng.Intn(g.cfg.Chans)
+			if g.rng.Intn(2) == 0 {
+				g.w.linef("send reg.ch%d, %d;", ch, g.rng.Intn(100))
+			} else {
+				g.w.linef("send reg.ch%d;", ch)
+			}
+		})
+		add(2, func() {
+			v := fmt.Sprintf("v%d", sc.nextLocal)
+			sc.nextLocal++
+			g.w.linef("var %s = recv reg.ch%d;", v, g.rng.Intn(g.cfg.Chans))
+		})
+	}
 	if sc.minHelper < g.cfg.Helpers {
 		add(3, func() {
 			h := sc.minHelper + g.rng.Intn(g.cfg.Helpers-sc.minHelper)
@@ -461,6 +531,17 @@ func (g *generator) main() {
 	for i := 0; i < g.cfg.Slots; i++ {
 		g.w.linef("reg.f%d = %s;", i, lockVars[g.rng.Intn(len(lockVars))])
 	}
+	for i := 0; i < g.cfg.Chans; i++ {
+		if i%2 == 1 && g.cfg.ChanCap > 0 {
+			g.w.linef("reg.ch%d = newchan(%d);", i, g.cfg.ChanCap)
+		} else {
+			g.w.linef("reg.ch%d = newchan;", i)
+		}
+	}
+	for i := 0; i < g.cfg.WGs; i++ {
+		g.w.linef("reg.wg%d = newwg;", i)
+		g.w.linef("wgadd reg.wg%d, %d;", i, g.cfg.Threads)
+	}
 	nParams := len(g.workerLockParams())
 	for i := 0; i < g.cfg.Threads; i++ {
 		args := g.sample(lockVars, nParams)
@@ -468,6 +549,9 @@ func (g *generator) main() {
 			args = append(args, args[0])
 		}
 		g.w.linef("var t%d = spawn w%d(%s, reg, %d);", i, i, strings.Join(args, ", "), i)
+	}
+	for i := 0; i < g.cfg.WGs; i++ {
+		g.w.linef("wgwait reg.wg%d;", i)
 	}
 	for i := 0; i < g.cfg.Threads; i++ {
 		g.w.linef("join t%d;", i)

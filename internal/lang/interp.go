@@ -32,6 +32,10 @@ func typeName(v Value) string {
 		return "latch"
 	case *sched.Thread:
 		return "thread"
+	case *sched.Chan:
+		return "chan"
+	case *sched.WaitGroup:
+		return "waitgroup"
 	default:
 		return fmt.Sprintf("%T", v)
 	}
@@ -54,6 +58,10 @@ func format(v Value) string {
 		return "latch(" + v.Obj().String() + ")"
 	case *sched.Thread:
 		return "thread(" + v.Name() + ")"
+	case *sched.Chan:
+		return "chan(" + v.Obj().String() + ")"
+	case *sched.WaitGroup:
+		return "waitgroup(" + v.Obj().String() + ")"
 	default:
 		return fmt.Sprintf("%v", v)
 	}
@@ -186,11 +194,30 @@ func (in *Interp) Run(opts sched.Options) (res *sched.Result, err error) {
 				err = rt
 				return
 			}
+			if me, ok := r.(*sched.MisuseError); ok {
+				// A blocking-primitive misuse (send on closed channel,
+				// double close, negative WaitGroup counter) surfaces as a
+				// scheduler abort; re-position it as a CLF runtime error.
+				err = &RuntimeError{Pos: locPos(me.Loc), Msg: me.Msg}
+				return
+			}
 			panic(r)
 		}
 	}()
 	s := sched.New(opts)
 	return s.Run(in.Main()), nil
+}
+
+// locPos parses a statement label ("file:line") back into a Pos for
+// error reporting; labels are produced by Pos.Loc.
+func locPos(loc event.Loc) Pos {
+	s := string(loc)
+	if i := strings.LastIndexByte(s, ':'); i >= 0 {
+		var line int
+		fmt.Sscanf(s[i+1:], "%d", &line)
+		return Pos{File: s[:i], Line: line, Col: 1}
+	}
+	return Pos{File: s, Line: 1, Col: 1}
 }
 
 // executor runs statements for one simulated thread.
@@ -305,6 +332,28 @@ func (ex *executor) execStmt(s Stmt, env *env) {
 			ex.c.Notify(o, event.Loc(s.Pos.Loc()))
 		}
 
+	case *SendStmt:
+		ch := ex.evalChan(s.Ch, env, s.Pos)
+		var v Value
+		if s.Val != nil {
+			v = ex.eval(s.Val, env)
+		}
+		ex.c.Send(ch, v, event.Loc(s.Pos.Loc()))
+
+	case *CloseStmt:
+		ex.c.Close(ex.evalChan(s.Ch, env, s.Pos), event.Loc(s.Pos.Loc()))
+
+	case *WGAddStmt:
+		wg := ex.evalWG(s.WG, env, s.Pos)
+		n := ex.evalInt(s.N, env)
+		ex.c.WGAdd(wg, int(n), event.Loc(s.Pos.Loc()))
+
+	case *WGDoneStmt:
+		ex.c.WGDone(ex.evalWG(s.WG, env, s.Pos), event.Loc(s.Pos.Loc()))
+
+	case *WGWaitStmt:
+		ex.c.WGWait(ex.evalWG(s.WG, env, s.Pos), event.Loc(s.Pos.Loc()))
+
 	case *FieldAssignStmt:
 		obj := ex.evalFieldOwner(s.Obj, env, s.Pos)
 		ex.heap.set(obj, s.Field, ex.eval(s.Val, env))
@@ -352,6 +401,19 @@ func (ex *executor) eval(e Expr, env *env) Value {
 		return ex.c.New(e.Type, event.Loc(e.Pos.Loc()))
 	case *NewLatchExpr:
 		return ex.c.NewLatch(event.Loc(e.Pos.Loc()))
+	case *NewChanExpr:
+		capacity := int64(0)
+		if e.Cap != nil {
+			capacity = ex.evalInt(e.Cap, env)
+			if capacity < 0 {
+				panic(rtErrf(e.Pos, "newchan(%d): negative capacity", capacity))
+			}
+		}
+		return ex.c.NewChan(int(capacity), event.Loc(e.Pos.Loc()))
+	case *NewWGExpr:
+		return ex.c.NewWaitGroup(event.Loc(e.Pos.Loc()))
+	case *RecvExpr:
+		return ex.c.Recv(ex.evalChan(e.Ch, env, e.Pos), event.Loc(e.Pos.Loc()))
 	case *CallExpr:
 		f, args := ex.evalCallee(e, env)
 		return ex.callFunction(f, args, e.Pos)
@@ -483,6 +545,10 @@ func (ex *executor) evalObject(e Expr, env *env) *object.Obj {
 		return v.Obj()
 	case *sched.Thread:
 		return v.Obj()
+	case *sched.Chan:
+		return v.Obj()
+	case *sched.WaitGroup:
+		return v.Obj()
 	default:
 		panic(rtErrf(e.exprPos(), "sync requires an object, got %s", typeName(v)))
 	}
@@ -497,6 +563,26 @@ func (ex *executor) evalFieldOwner(e Expr, env *env, pos Pos) *object.Obj {
 		panic(rtErrf(pos, "field access requires an object, got %s", typeName(v)))
 	}
 	return o
+}
+
+// evalChan evaluates an expression that must be a channel.
+func (ex *executor) evalChan(e Expr, env *env, pos Pos) *sched.Chan {
+	v := ex.eval(e, env)
+	ch, ok := v.(*sched.Chan)
+	if !ok {
+		panic(rtErrf(pos, "expected chan, got %s", typeName(v)))
+	}
+	return ch
+}
+
+// evalWG evaluates an expression that must be a WaitGroup.
+func (ex *executor) evalWG(e Expr, env *env, pos Pos) *sched.WaitGroup {
+	v := ex.eval(e, env)
+	wg, ok := v.(*sched.WaitGroup)
+	if !ok {
+		panic(rtErrf(pos, "expected waitgroup, got %s", typeName(v)))
+	}
+	return wg
 }
 
 // evalLatch evaluates an expression that must be a latch.

@@ -243,6 +243,74 @@ func (p *Parser) stmt() (Stmt, error) {
 		}
 		return &NotifyStmt{Pos: t.Pos, Obj: x, All: t.Kind == TokNotifyAll}, nil
 
+	case TokSend:
+		p.next()
+		ch, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		var val Expr
+		if p.accept(TokComma) {
+			if val, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &SendStmt{Pos: t.Pos, Ch: ch, Val: val}, nil
+
+	case TokClose:
+		p.next()
+		ch, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &CloseStmt{Pos: t.Pos, Ch: ch}, nil
+
+	case TokWGAdd:
+		p.next()
+		wg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokComma); err != nil {
+			return nil, err
+		}
+		n, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &WGAddStmt{Pos: t.Pos, WG: wg, N: n}, nil
+
+	case TokWGDone:
+		p.next()
+		wg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &WGDoneStmt{Pos: t.Pos, WG: wg}, nil
+
+	case TokWGWait:
+		p.next()
+		wg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return &WGWaitStmt{Pos: t.Pos, WG: wg}, nil
+
 	case TokReturn:
 		p.next()
 		var val Expr
@@ -449,6 +517,29 @@ func (p *Parser) primary() (Expr, error) {
 	case TokNewLatch:
 		p.next()
 		return &NewLatchExpr{Pos: t.Pos}, nil
+	case TokNewChan:
+		p.next()
+		var capExpr Expr
+		if p.accept(TokLParen) {
+			var err error
+			if capExpr, err = p.expr(); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+		}
+		return &NewChanExpr{Pos: t.Pos, Cap: capExpr}, nil
+	case TokNewWG:
+		p.next()
+		return &NewWGExpr{Pos: t.Pos}, nil
+	case TokRecv:
+		p.next()
+		ch, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		return &RecvExpr{Pos: t.Pos, Ch: ch}, nil
 	case TokSpawn:
 		p.next()
 		callee, err := p.primary()

@@ -122,6 +122,25 @@ func (r *resolver) stmt(s Stmt) error {
 		return r.expr(s.Obj)
 	case *NotifyStmt:
 		return r.expr(s.Obj)
+	case *SendStmt:
+		if err := r.expr(s.Ch); err != nil {
+			return err
+		}
+		if s.Val != nil {
+			return r.expr(s.Val)
+		}
+		return nil
+	case *CloseStmt:
+		return r.expr(s.Ch)
+	case *WGAddStmt:
+		if err := r.expr(s.WG); err != nil {
+			return err
+		}
+		return r.expr(s.N)
+	case *WGDoneStmt:
+		return r.expr(s.WG)
+	case *WGWaitStmt:
+		return r.expr(s.WG)
 	case *FieldAssignStmt:
 		if err := r.expr(s.Obj); err != nil {
 			return err
@@ -148,8 +167,15 @@ func (r *resolver) stmt(s Stmt) error {
 
 func (r *resolver) expr(e Expr) error {
 	switch e := e.(type) {
-	case *IntLit, *BoolLit, *StrLit, *NilLit, *NewExpr, *NewLatchExpr:
+	case *IntLit, *BoolLit, *StrLit, *NilLit, *NewExpr, *NewLatchExpr, *NewWGExpr:
 		return nil
+	case *NewChanExpr:
+		if e.Cap != nil {
+			return r.expr(e.Cap)
+		}
+		return nil
+	case *RecvExpr:
+		return r.expr(e.Ch)
 	case *Ident:
 		if !r.defined(e.Name) {
 			return errf(e.Pos, "undefined variable %s", e.Name)

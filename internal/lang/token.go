@@ -102,6 +102,14 @@ const (
 	TokTrue
 	TokFalse
 	TokNil
+	TokNewChan
+	TokNewWG
+	TokSend
+	TokRecv
+	TokClose
+	TokWGAdd
+	TokWGDone
+	TokWGWait
 )
 
 var tokNames = map[TokKind]string{
@@ -151,6 +159,14 @@ var tokNames = map[TokKind]string{
 	TokTrue:      "'true'",
 	TokFalse:     "'false'",
 	TokNil:       "'nil'",
+	TokNewChan:   "'newchan'",
+	TokNewWG:     "'newwg'",
+	TokSend:      "'send'",
+	TokRecv:      "'recv'",
+	TokClose:     "'close'",
+	TokWGAdd:     "'wgadd'",
+	TokWGDone:    "'wgdone'",
+	TokWGWait:    "'wgwait'",
 }
 
 // String names the token kind for diagnostics.
@@ -183,6 +199,14 @@ var keywords = map[string]TokKind{
 	"true":      TokTrue,
 	"false":     TokFalse,
 	"nil":       TokNil,
+	"newchan":   TokNewChan,
+	"newwg":     TokNewWG,
+	"send":      TokSend,
+	"recv":      TokRecv,
+	"close":     TokClose,
+	"wgadd":     TokWGAdd,
+	"wgdone":    TokWGDone,
+	"wgwait":    TokWGWait,
 }
 
 // Token is one lexical token.

@@ -91,6 +91,7 @@ func (p *Pool) Put(s *Scheduler) {
 	s.seq = 0
 	s.acquires = 0
 	s.deadlock = nil
+	s.blocked = nil
 	s.panicVal = nil
 	p.scheds = append(p.scheds, s)
 }

@@ -39,6 +39,14 @@ type Request struct {
 	WaitResume bool
 	// All marks a Notify as notify-all.
 	All bool
+	// Ch is the channel for ChanSend/ChanRecv/ChanClose requests, and
+	// Val the sent value (ChanSend only).
+	Ch  *Chan
+	Val any
+	// WG is the WaitGroup for WGAdd/WGWait requests, Delta the counter
+	// adjustment (WGAdd only; Done posts -1).
+	WG    *WaitGroup
+	Delta int
 	// Steps is the number of invisible steps this request stands for
 	// (Ctx.Work posts one Step request with Steps=n instead of n separate
 	// requests). Zero and one both mean a single step. The scheduler
@@ -64,6 +72,12 @@ func (r Request) String() string {
 		return fmt.Sprintf("Spawn(%s)@%s", r.Name, r.Loc)
 	case event.KindJoin:
 		return fmt.Sprintf("Join(%s)@%s", r.Target, r.Loc)
+	case event.KindChanSend, event.KindChanRecv, event.KindChanClose:
+		return fmt.Sprintf("%s(%s)@%s", r.Kind, r.Ch.obj, r.Loc)
+	case event.KindWGAdd:
+		return fmt.Sprintf("WGAdd(%s, %+d)@%s", r.WG.obj, r.Delta, r.Loc)
+	case event.KindWGWait:
+		return fmt.Sprintf("WGWait(%s)@%s", r.WG.obj, r.Loc)
 	default:
 		return fmt.Sprintf("%s@%s", r.Kind, r.Loc)
 	}
@@ -79,7 +93,10 @@ const (
 	// wait-for graph (the paper's "Real Deadlock Found!").
 	Deadlock
 	// Stall means no thread is enabled but some are alive and no lock
-	// cycle exists (a communication deadlock, e.g. on latches).
+	// cycle exists: a communication deadlock on latches, channels,
+	// WaitGroups or monitor waits. Result.Blocked carries the
+	// classified verdict (total vs. partial, and what each thread
+	// waits on).
 	Stall
 	// StepLimit means the execution was cut off by Options.MaxSteps.
 	StepLimit
@@ -138,6 +155,12 @@ func (d *DeadlockInfo) String() string {
 type Result struct {
 	Outcome  Outcome
 	Deadlock *DeadlockInfo // non-nil iff Outcome == Deadlock
+	// Blocked reports threads provably blocked forever on blocking
+	// operations (channels, WaitGroups, latches, joins, monitor waits).
+	// Non-nil only for Stall outcomes and for StepLimit outcomes where a
+	// sole-unblocker chain is already stuck; lock-cycle deadlocks are
+	// reported through Deadlock instead. See Scheduler.classifyBlocked.
+	Blocked *BlockedInfo
 	// Steps is the number of scheduling decisions taken.
 	Steps int
 	// Events is the number of events emitted to observers.

@@ -135,6 +135,7 @@ type Scheduler struct {
 	seq      uint64
 	acquires uint64
 	deadlock *DeadlockInfo
+	blocked  *BlockedInfo
 	panicVal any
 	outcome  Outcome
 
@@ -362,6 +363,7 @@ func (s *Scheduler) Run(main func(*Ctx)) *Result {
 		s.runDone = make(chan struct{}, 1)
 	}
 	s.outcome = Completed
+	s.blocked = nil
 	s.newThread("main", mainObj, main)
 	if !s.schedule(nil) {
 		// The baton moved to a thread goroutine; whichever goroutine
@@ -376,6 +378,7 @@ func (s *Scheduler) Run(main func(*Ctx)) *Result {
 	return &Result{
 		Outcome:   s.outcome,
 		Deadlock:  s.deadlock,
+		Blocked:   s.blocked,
 		Steps:     s.steps,
 		Events:    s.seq,
 		Acquires:  s.acquires,
@@ -432,6 +435,11 @@ func (s *Scheduler) schedule(poster *Thread) bool {
 		}
 		if s.steps >= s.opts.MaxSteps {
 			s.outcome = StepLimit
+			// Even with runnable threads left, sole-unblocker chains
+			// (join/lock waits on stuck threads) are already provably
+			// blocked forever — a partial deadlock the cut-off run can
+			// still report soundly.
+			s.blocked = s.classifyBlocked(len(s.enabled()))
 			break
 		}
 		var enabled []event.TID
@@ -450,6 +458,9 @@ func (s *Scheduler) schedule(poster *Thread) bool {
 				s.outcome = Deadlock
 			} else {
 				s.outcome = Stall
+				// No runner exists, so every blocked thread is stuck
+				// forever; classify the blocking-op deadlock.
+				s.blocked = s.classifyBlocked(0)
 			}
 			break
 		}
@@ -554,6 +565,21 @@ func (s *Scheduler) executable(t *Thread) bool {
 		return !s.threads[r.Target].alive
 	case event.KindAwait:
 		return s.latches[r.Obj.ID].set
+	case event.KindChanSend:
+		// A send on a closed channel is executable so the misuse error
+		// fires at the send, matching Go's panic.
+		ch := r.Ch
+		if ch.closed {
+			return true
+		}
+		if ch.capacity > 0 {
+			return len(ch.buf) < ch.capacity
+		}
+		return s.pendingReceiver(ch) != nil
+	case event.KindChanRecv:
+		return t.recvReady || len(r.Ch.buf) > 0 || r.Ch.closed
+	case event.KindWGWait:
+		return r.WG.count == 0
 	case event.KindExit:
 		return false
 	default:
@@ -748,6 +774,66 @@ func (s *Scheduler) applyRequest(t *Thread) bool {
 			l.set = true
 		}
 		base.Obj = r.Obj
+		s.emit(base)
+
+	case event.KindChanSend:
+		ch := r.Ch
+		if ch.closed {
+			s.panicVal = &MisuseError{Loc: r.Loc, Msg: fmt.Sprintf("%s sends on closed channel %s", t.id, ch.obj)}
+			return false
+		}
+		if ch.capacity > 0 {
+			ch.buf = append(ch.buf, r.Val)
+		} else {
+			// Rendezvous: hand the value straight to the chosen receiver;
+			// it becomes enabled and takes the value at its own grant.
+			recv := s.pendingReceiver(ch)
+			recv.recvVal = r.Val
+			recv.recvReady = true
+		}
+		base.Obj = ch.obj
+		s.emit(base)
+
+	case event.KindChanRecv:
+		ch := r.Ch
+		switch {
+		case t.recvReady:
+			t.retVal = t.recvVal
+			t.recvVal = nil
+			t.recvReady = false
+		case len(ch.buf) > 0:
+			t.retVal = ch.buf[0]
+			copy(ch.buf, ch.buf[1:])
+			ch.buf[len(ch.buf)-1] = nil
+			ch.buf = ch.buf[:len(ch.buf)-1]
+		default: // closed and drained: the zero value, like Go
+			t.retVal = nil
+		}
+		base.Obj = ch.obj
+		s.emit(base)
+
+	case event.KindChanClose:
+		ch := r.Ch
+		if ch.closed {
+			s.panicVal = &MisuseError{Loc: r.Loc, Msg: fmt.Sprintf("%s closes closed channel %s", t.id, ch.obj)}
+			return false
+		}
+		ch.closed = true
+		base.Obj = ch.obj
+		s.emit(base)
+
+	case event.KindWGAdd:
+		wg := r.WG
+		wg.count += r.Delta
+		if wg.count < 0 {
+			s.panicVal = &MisuseError{Loc: r.Loc, Msg: fmt.Sprintf("%s drives WaitGroup %s counter negative", t.id, wg.obj)}
+			return false
+		}
+		base.Obj = wg.obj
+		s.emit(base)
+
+	case event.KindWGWait:
+		base.Obj = r.WG.obj
 		s.emit(base)
 
 	case event.KindStep, event.KindYield:

@@ -72,6 +72,14 @@ type Thread struct {
 	notified  bool
 	waitDepth int
 	waitLoc   event.Loc
+
+	// Channel-receive state: an unbuffered send hands its value to the
+	// chosen receiver through recvVal/recvReady (set at the send's
+	// grant, consumed at the receive's); retVal is the received value
+	// Ctx.Recv returns.
+	recvVal   any
+	recvReady bool
+	retVal    any
 }
 
 // ID returns the thread's unique id for this execution.
@@ -176,6 +184,9 @@ func (t *Thread) recycle() {
 	t.notified = false
 	t.waitDepth = 0
 	t.waitLoc = event.NoLoc
+	t.recvVal = nil
+	t.recvReady = false
+	t.retVal = nil
 }
 
 // postPending hands the pending request to the scheduler and blocks
@@ -371,5 +382,64 @@ func (c *Ctx) Notify(o *object.Obj, site event.Loc) {
 // NotifyAll wakes every thread waiting on o's monitor.
 func (c *Ctx) NotifyAll(o *object.Obj, site event.Loc) {
 	c.t.pending = Request{Kind: event.KindNotify, Obj: o, Loc: site, All: true}
+	c.t.postPending()
+}
+
+// NewChan allocates a channel with the given capacity at site
+// (capacity 0 = unbuffered rendezvous, like Go). Negative capacities
+// are clamped to 0.
+func (c *Ctx) NewChan(capacity int, site event.Loc) *Chan {
+	if capacity < 0 {
+		capacity = 0
+	}
+	obj := c.New("Chan", site)
+	return &Chan{obj: obj, capacity: capacity}
+}
+
+// Send sends v on ch at site, blocking until a receiver rendezvous
+// (unbuffered) or buffer space exists. Sending on a closed channel
+// aborts the run with a MisuseError, like Go's panic.
+func (c *Ctx) Send(ch *Chan, v any, site event.Loc) {
+	c.t.pending = Request{Kind: event.KindChanSend, Ch: ch, Val: v, Loc: site}
+	c.t.postPending()
+}
+
+// Recv receives from ch at site, blocking until a sender, a buffered
+// value, or a close provides one. Receiving from a closed, drained
+// channel returns nil (Go's zero value).
+func (c *Ctx) Recv(ch *Chan, site event.Loc) any {
+	c.t.pending = Request{Kind: event.KindChanRecv, Ch: ch, Loc: site}
+	c.t.postPending()
+	return c.t.retVal
+}
+
+// Close closes ch at site, enabling every blocked and future receiver.
+// Closing a closed channel aborts the run with a MisuseError.
+func (c *Ctx) Close(ch *Chan, site event.Loc) {
+	c.t.pending = Request{Kind: event.KindChanClose, Ch: ch, Loc: site}
+	c.t.postPending()
+}
+
+// NewWaitGroup allocates a WaitGroup (counter 0) at site.
+func (c *Ctx) NewWaitGroup(site event.Loc) *WaitGroup {
+	obj := c.New("WaitGroup", site)
+	return &WaitGroup{obj: obj}
+}
+
+// WGAdd adjusts wg's counter by delta at site. Driving the counter
+// negative aborts the run with a MisuseError, like sync.WaitGroup.
+func (c *Ctx) WGAdd(wg *WaitGroup, delta int, site event.Loc) {
+	c.t.pending = Request{Kind: event.KindWGAdd, WG: wg, Delta: delta, Loc: site}
+	c.t.postPending()
+}
+
+// WGDone decrements wg's counter by one at site.
+func (c *Ctx) WGDone(wg *WaitGroup, site event.Loc) {
+	c.WGAdd(wg, -1, site)
+}
+
+// WGWait blocks at site until wg's counter is zero.
+func (c *Ctx) WGWait(wg *WaitGroup, site event.Loc) {
+	c.t.pending = Request{Kind: event.KindWGWait, WG: wg, Loc: site}
 	c.t.postPending()
 }

@@ -217,6 +217,20 @@ func (a *analysis) ptsStmt(f *lang.FuncDecl, s lang.Stmt) {
 		a.ptsExpr(f, s.Obj)
 	case *lang.NotifyStmt:
 		a.ptsExpr(f, s.Obj)
+	case *lang.SendStmt:
+		a.ptsExpr(f, s.Ch)
+		if s.Val != nil {
+			a.ptsExpr(f, s.Val)
+		}
+	case *lang.CloseStmt:
+		a.ptsExpr(f, s.Ch)
+	case *lang.WGAddStmt:
+		a.ptsExpr(f, s.WG)
+		a.ptsExpr(f, s.N)
+	case *lang.WGDoneStmt:
+		a.ptsExpr(f, s.WG)
+	case *lang.WGWaitStmt:
+		a.ptsExpr(f, s.WG)
 	case *lang.ReturnStmt:
 		if s.Val != nil {
 			a.flow(a.retSet(f.Name), a.ptsExpr(f, s.Val))
@@ -241,6 +255,18 @@ func (a *analysis) ptsExpr(f *lang.FuncDecl, e lang.Expr) siteSet {
 		return siteSet{Site(e.Pos.Loc()): true}
 	case *lang.NewLatchExpr:
 		return siteSet{Site(e.Pos.Loc()): true}
+	case *lang.NewChanExpr:
+		if e.Cap != nil {
+			a.ptsExpr(f, e.Cap)
+		}
+		return siteSet{Site(e.Pos.Loc()): true}
+	case *lang.NewWGExpr:
+		return siteSet{Site(e.Pos.Loc()): true}
+	case *lang.RecvExpr:
+		// The received value's sites are unknown (channels are untyped
+		// here); the channel expression itself is still walked.
+		a.ptsExpr(f, e.Ch)
+		return nil
 	case *lang.Ident:
 		return a.varSet(f.Name, e.Name)
 	case *lang.FieldExpr:
@@ -387,6 +413,20 @@ func (a *analysis) orderStmt(f *lang.FuncDecl, s lang.Stmt, env []heldLock) {
 		for _, e := range s.Args {
 			a.orderCalls(f, e, env)
 		}
+	case *lang.SendStmt:
+		a.orderCalls(f, s.Ch, env)
+		if s.Val != nil {
+			a.orderCalls(f, s.Val, env)
+		}
+	case *lang.CloseStmt:
+		a.orderCalls(f, s.Ch, env)
+	case *lang.WGAddStmt:
+		a.orderCalls(f, s.WG, env)
+		a.orderCalls(f, s.N, env)
+	case *lang.WGDoneStmt:
+		a.orderCalls(f, s.WG, env)
+	case *lang.WGWaitStmt:
+		a.orderCalls(f, s.WG, env)
 	}
 }
 
@@ -406,6 +446,12 @@ func (a *analysis) orderCalls(f *lang.FuncDecl, e lang.Expr, env []heldLock) {
 		a.addHeld(e.Call.Name, nil)
 	case *lang.FieldExpr:
 		a.orderCalls(f, e.Obj, env)
+	case *lang.RecvExpr:
+		a.orderCalls(f, e.Ch, env)
+	case *lang.NewChanExpr:
+		if e.Cap != nil {
+			a.orderCalls(f, e.Cap, env)
+		}
 	case *lang.UnaryExpr:
 		a.orderCalls(f, e.X, env)
 	case *lang.BinaryExpr:

@@ -1,0 +1,135 @@
+package waitgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"dlfuzz/internal/event"
+)
+
+func tids(ids ...int) []event.TID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]event.TID, len(ids))
+	for i, id := range ids {
+		out[i] = event.TID(id)
+	}
+	return out
+}
+
+func TestForever(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		blocked []BlockedOn
+		runners int
+		want    []event.TID
+	}{
+		{name: "empty", blocked: nil, runners: 3, want: nil},
+		{
+			// A stalled state: every blocked thread is stuck, whatever
+			// it waits on.
+			name: "stall-all-stuck",
+			blocked: []BlockedOn{
+				{Thread: 0, Kind: BlockChanRecv, On: event.NoThread},
+				{Thread: 1, Kind: BlockWGWait, On: event.NoThread},
+				{Thread: 2, Kind: BlockAwait, On: event.NoThread},
+			},
+			runners: 0,
+			want:    tids(0, 1, 2),
+		},
+		{
+			// With a runner, multi-satisfier waits might still be served.
+			name: "runner-releases-multi",
+			blocked: []BlockedOn{
+				{Thread: 0, Kind: BlockChanSend, On: event.NoThread},
+				{Thread: 1, Kind: BlockNotifyWait, On: event.NoThread},
+			},
+			runners: 1,
+			want:    nil,
+		},
+		{
+			// A join cycle survives any number of runners.
+			name: "join-cycle",
+			blocked: []BlockedOn{
+				{Thread: 1, Kind: BlockJoin, On: 2},
+				{Thread: 2, Kind: BlockJoin, On: 1},
+			},
+			runners: 5,
+			want:    tids(1, 2),
+		},
+		{
+			// A chain hanging off a cycle is dragged down with it.
+			name: "chain-into-cycle",
+			blocked: []BlockedOn{
+				{Thread: 1, Kind: BlockJoin, On: 2},
+				{Thread: 2, Kind: BlockJoin, On: 1},
+				{Thread: 3, Kind: BlockAcquire, On: 1},
+			},
+			runners: 1,
+			want:    tids(1, 2, 3),
+		},
+		{
+			// A lock wait on a thread that is itself waiting on a channel
+			// is NOT stuck while a runner could serve the channel: the
+			// holder discharges first, then the waiter.
+			name: "holder-discharged-cascades",
+			blocked: []BlockedOn{
+				{Thread: 1, Kind: BlockChanRecv, On: event.NoThread},
+				{Thread: 2, Kind: BlockAcquire, On: 1},
+			},
+			runners: 1,
+			want:    nil,
+		},
+		{
+			// An acquire on a lock whose holder is running (not in the
+			// blocked set) is never stuck.
+			name: "holder-running",
+			blocked: []BlockedOn{
+				{Thread: 1, Kind: BlockAcquire, On: 9},
+			},
+			runners: 1,
+			want:    nil,
+		},
+		{
+			// A join on an already-stuck chain plus an unrelated channel
+			// wait: only the sole-unblocker part is flagged.
+			name: "mixed",
+			blocked: []BlockedOn{
+				{Thread: 1, Kind: BlockJoin, On: 2},
+				{Thread: 2, Kind: BlockJoin, On: 1},
+				{Thread: 3, Kind: BlockChanSend, On: event.NoThread},
+			},
+			runners: 1,
+			want:    tids(1, 2),
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Forever(tc.blocked, tc.runners)
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("Forever(%v, %d) = %v, want %v", tc.blocked, tc.runners, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestBlockKindStrings(t *testing.T) {
+	kinds := []BlockKind{BlockAcquire, BlockJoin, BlockAwait, BlockNotifyWait,
+		BlockChanSend, BlockChanRecv, BlockWGWait}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d: bad or duplicate name %q", int(k), s)
+		}
+		seen[s] = true
+	}
+	if !BlockAcquire.SoleUnblocker() || !BlockJoin.SoleUnblocker() {
+		t.Error("acquire/join must be sole-unblocker kinds")
+	}
+	for _, k := range []BlockKind{BlockAwait, BlockNotifyWait, BlockChanSend, BlockChanRecv, BlockWGWait} {
+		if k.SoleUnblocker() {
+			t.Errorf("%v must be multi-satisfier", k)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package workloads_test
+
+import (
+	"reflect"
+	"testing"
+
+	"dlfuzz/internal/sched"
+	. "dlfuzz/internal/workloads"
+)
+
+func TestBlockingRegistry(t *testing.T) {
+	suite := Blocking()
+	if len(suite) != 11 {
+		t.Fatalf("expected 11 blocking workloads, got %d", len(suite))
+	}
+	seen := map[string]bool{}
+	deadlocking := 0
+	for _, w := range suite {
+		if w.Name == "" || w.Prog == nil {
+			t.Errorf("workload %q incomplete", w.Name)
+		}
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.ExpectPartial && w.ExpectTotal {
+			t.Errorf("%s: claims both partial and total", w.Name)
+		}
+		if w.ExpectPartial || w.ExpectTotal {
+			deadlocking++
+		}
+		if _, ok := ByName(w.Name); !ok {
+			t.Errorf("ByName(%q) failed", w.Name)
+		}
+		if _, ok := ByName(w.Name); !ok {
+			t.Errorf("ByName(%q) should find blocking workloads", w.Name)
+		}
+	}
+	if deadlocking < 8 {
+		t.Errorf("only %d deadlocking blocking workloads, want >= 8", deadlocking)
+	}
+	// The two suites must not collide: a name in both would make ByName
+	// ambiguous.
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Errorf("name %q appears in both All() and Blocking()", w.Name)
+		}
+	}
+}
+
+func runBlocking(t *testing.T, w Workload, seed int64) *sched.Result {
+	t.Helper()
+	return sched.New(sched.Options{Seed: seed, MaxSteps: 50_000}).Run(w.Prog)
+}
+
+// TestBlockingVerdicts pins each planted bug's classification: on every
+// seed the deadlocking workloads stall with the expected partial/total
+// verdict, and the controls never produce one.
+func TestBlockingVerdicts(t *testing.T) {
+	for _, w := range Blocking() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			stuck := 0
+			for seed := int64(0); seed < 20; seed++ {
+				res := runBlocking(t, w, seed)
+				switch {
+				case w.ExpectPartial || w.ExpectTotal:
+					if res.Outcome != sched.Stall || res.Blocked == nil {
+						t.Fatalf("seed %d: outcome %v, blocked %v; want a classified stall",
+							seed, res.Outcome, res.Blocked)
+					}
+					if res.Blocked.Partial != w.ExpectPartial {
+						t.Fatalf("seed %d: partial=%v, want %v (%v)",
+							seed, res.Blocked.Partial, w.ExpectPartial, res.Blocked)
+					}
+					stuck++
+				case w.Name == "spin-not-flagged":
+					if res.Outcome != sched.StepLimit {
+						t.Fatalf("seed %d: outcome %v, want StepLimit", seed, res.Outcome)
+					}
+					if res.Blocked != nil {
+						t.Fatalf("seed %d: spurious verdict %v", seed, res.Blocked)
+					}
+				default:
+					if res.Outcome != sched.Completed || res.Blocked != nil {
+						t.Fatalf("seed %d: outcome %v, blocked %v; want clean completion",
+							seed, res.Outcome, res.Blocked)
+					}
+				}
+			}
+			if (w.ExpectPartial || w.ExpectTotal) && stuck != 20 {
+				t.Errorf("stuck on %d/20 seeds, want every seed", stuck)
+			}
+		})
+	}
+}
+
+// TestBlockingDeterministic: the full result — outcome, step count, and
+// the blocked classification with its canonical key — is a pure
+// function of the seed.
+func TestBlockingDeterministic(t *testing.T) {
+	for _, w := range Blocking() {
+		for seed := int64(0); seed < 5; seed++ {
+			a := runBlocking(t, w, seed)
+			b := runBlocking(t, w, seed)
+			if a.Outcome != b.Outcome || a.Steps != b.Steps {
+				t.Fatalf("%s seed %d: outcome/steps differ", w.Name, seed)
+			}
+			if !reflect.DeepEqual(a.Blocked, b.Blocked) {
+				t.Fatalf("%s seed %d: blocked classification differs", w.Name, seed)
+			}
+			if a.Blocked != nil && a.Blocked.Key() != b.Blocked.Key() {
+				t.Fatalf("%s seed %d: keys differ", w.Name, seed)
+			}
+		}
+	}
+}

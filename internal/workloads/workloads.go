@@ -39,6 +39,14 @@ type Workload struct {
 	// HasFalsePositives marks workloads that also plant happens-before
 	// guarded (unconfirmable) cycles, like Jigsaw.
 	HasFalsePositives bool
+	// ExpectPartial and ExpectTotal are the planted verdicts of the
+	// blocking workloads (see blocking.go): whether a stuck run must
+	// classify as a partial deadlock (a strict subset of threads stuck
+	// while the rest ran to completion) or a total one (every live
+	// thread stuck). Both false for the Table 1 mutex workloads and for
+	// the deadlock-free blocking controls.
+	ExpectPartial bool
+	ExpectTotal   bool
 }
 
 // All returns every workload in Table 1 order.
@@ -57,9 +65,15 @@ func All() []Workload {
 	}
 }
 
-// ByName returns the named workload.
+// ByName returns the named workload, searching the Table 1 suite and
+// the blocking suite.
 func ByName(name string) (Workload, bool) {
 	for _, w := range All() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	for _, w := range Blocking() {
 		if w.Name == name {
 			return w, true
 		}

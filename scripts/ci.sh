@@ -34,7 +34,10 @@
 #                          first five corpus programs; a finder that
 #                          declares itself sound must have zero
 #                          Phase-II-unconfirmed candidates
-#  12. docs links        — every relative link in README.md and
+#  12. blocking smoke    — the blocking-deadlock campaign runs over the
+#                          curated chan/WaitGroup suite at widths 1/2/4
+#                          and must produce byte-identical reports
+#  13. docs links        — every relative link in README.md and
 #                          docs/*.md resolves to a file in the repo
 #
 # FUZZTIME overrides the smoke window (default 10s); BENCHRUNS the
@@ -133,6 +136,23 @@ echo "== bakeoff smoke: finder bakeoff + sound-finder gate on 5 corpus entries =
 bakeoff="$(mktemp)"
 trap 'rm -rf "$witdir" "$corpusdir" "$bakeoff"' EXIT
 go run ./cmd/dlbench -bakeoff-json "$bakeoff" -bakeoff-entries 5 -check-sound
+
+echo "== blocking smoke: blocking campaign byte-identical at widths 1/2/4 =="
+blockdir="$(mktemp -d)"
+trap 'rm -rf "$witdir" "$corpusdir" "$bakeoff" "$blockdir"' EXIT
+# Every workload the CLI lists under the blocking suite; exit 1 means
+# "deadlocks found" and is expected for the planted bugs.
+go build -o "$blockdir/dlfuzz" ./cmd/dlfuzz
+for name in $("$blockdir/dlfuzz" -list |
+	awk 'insuite && NF { print $1 } /blocking suite/ { insuite = 1 }'); do
+	for w in 1 2 4; do
+		"$blockdir/dlfuzz" -blocking -runs 20 -parallel "$w" \
+			-workload "$name" > "$blockdir/$name.$w" || [ $? -eq 1 ]
+	done
+	cmp "$blockdir/$name.1" "$blockdir/$name.2"
+	cmp "$blockdir/$name.1" "$blockdir/$name.4"
+done
+echo "blocking reports identical at widths 1/2/4"
 
 echo "== docs links: relative links in README.md and docs/*.md resolve =="
 bad=0
