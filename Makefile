@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: ci build test race bench bench-smoke profile fuzz-smoke vet replay-smoke corpus-smoke corpus bakeoff-smoke blocking-smoke
+.PHONY: ci build test race bench bench-smoke profile fuzz-smoke vet replay-smoke corpus-smoke corpus bakeoff-smoke blocking-smoke vm-diff
 
 ci:
 	./scripts/ci.sh
@@ -64,6 +64,15 @@ profile:
 
 fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzParser -fuzztime=10s ./internal/lang/
+
+# Byte-identity differential between the bytecode VM and the tree-walking
+# interpreter: scheduled runs, confirm campaigns and blocking analyses
+# over the curated programs and the committed corpus at widths 1/2/4,
+# the per-program VM parity suite, and a replay of every recorded
+# FuzzInterp seed (the CI vm-diff step, runnable on its own).
+vm-diff:
+	$(GO) test -run 'TestVMTree' -count=1 .
+	$(GO) test -run 'TestVM|FuzzInterp' -count=1 ./internal/lang/
 
 # Run the blocking-deadlock campaign over the curated chan/WaitGroup
 # suite at widths 1/2/4 and require byte-identical reports (the CI

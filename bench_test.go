@@ -395,3 +395,43 @@ func BenchmarkNoiseBaseline(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCLFInterp compares the CLF back ends: each iteration is one
+// plain scheduled execution of a committed program, once per back end
+// sub-benchmark, reporting steps/sec. The VM's speedup over the
+// tree-walker here is the tentpole number EXPERIMENTS.md records;
+// dlbench's CLF pipeline rows track the same ratio end to end.
+func BenchmarkCLFInterp(b *testing.B) {
+	for _, name := range []string{"philosophers.clf", "pipeline.clf", "dense.clf", filepath.Join("corpus", "gen-000001.clf")} {
+		src, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := dlfuzz.ParseCLF(name, string(src))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, backend := range []struct {
+			name string
+			body func(*sched.Ctx)
+		}{
+			{"vm", prog.Body()},
+			{"tree", prog.TreeWalkBody()},
+		} {
+			backend := backend
+			b.Run(name+"/"+backend.name, func(b *testing.B) {
+				pool := sched.NewPool()
+				steps := 0
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					steps += pool.Run(sched.Options{Seed: int64(i)}, backend.body).Steps
+				}
+				b.StopTimer()
+				if b.Elapsed() > 0 {
+					b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/sec")
+				}
+			})
+		}
+	}
+}

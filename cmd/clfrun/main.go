@@ -8,6 +8,7 @@
 //	clfrun -trace out.jsonl prog.clf      # record the event stream
 //	clfrun -record sched.json prog.clf    # record the schedule
 //	clfrun -replay sched.json prog.clf    # replay it (any seed)
+//	clfrun -tree prog.clf                 # tree-walking back end (identical output)
 package main
 
 import (
@@ -38,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut  = fs.String("trace", "", "write the event trace (JSON lines) to this file")
 		recordOut = fs.String("record", "", "write the schedule to this file")
 		replayIn  = fs.String("replay", "", "replay a schedule from this file")
+		tree      = fs.Bool("tree", false, "use the tree-walking interpreter instead of the bytecode VM (identical output, slower)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -87,7 +89,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Policy = recorder
 	}
 
-	res, err := lang.NewInterp(prog, stdout).Run(opts)
+	in := lang.NewInterp(prog, stdout)
+	if *tree {
+		in.TreeWalk()
+	}
+	res, err := in.Run(opts)
 	if err != nil {
 		fmt.Fprintln(stderr, "clfrun:", err)
 		return 2

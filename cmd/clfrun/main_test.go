@@ -128,3 +128,23 @@ func TestRunUsageErrors(t *testing.T) {
 		t.Errorf("missing schedule: exit %d, want 2", code)
 	}
 }
+
+// TestRunTreeFlagIdentical pins the -tree escape hatch: the
+// tree-walking back end must produce the identical outcome report (and
+// exit code) to the default bytecode VM on the same seed.
+func TestRunTreeFlagIdentical(t *testing.T) {
+	prog := filepath.Join("..", "..", "testdata", "dense.clf")
+	for _, seed := range []string{"0", "3", "11"} {
+		var vmOut, vmErr, twOut, twErr bytes.Buffer
+		vmCode := run([]string{"-seed", seed, prog}, &vmOut, &vmErr)
+		twCode := run([]string{"-seed", seed, "-tree", prog}, &twOut, &twErr)
+		if vmCode != twCode {
+			t.Errorf("seed %s: exit %d (vm) != %d (tree); stderr: %s / %s",
+				seed, vmCode, twCode, vmErr.String(), twErr.String())
+		}
+		if !bytes.Equal(vmOut.Bytes(), twOut.Bytes()) {
+			t.Errorf("seed %s: output diverged:\n--- vm ---\n%s--- tree ---\n%s",
+				seed, vmOut.String(), twOut.String())
+		}
+	}
+}

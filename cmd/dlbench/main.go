@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -67,8 +68,9 @@ func main() {
 	// A bad -workload is a usage error: report it like flag parsing does
 	// (exit status 2, message on stderr) and list what would have worked.
 	// Validated before the profile files are created, so a typo does not
-	// leave truncated profile output behind.
-	if *workload != "" {
+	// leave truncated profile output behind. CLF refs ("clf:PATH",
+	// "clf/NAME") are resolved later, against the filesystem.
+	if *workload != "" && !strings.HasPrefix(*workload, "clf") {
 		if _, ok := figure2Workload(*workload); !ok {
 			fmt.Fprintf(os.Stderr, "dlbench: unknown workload %q\nvalid workloads: %s\n",
 				*workload, strings.Join(figure2WorkloadNames(), ", "))
@@ -246,7 +248,10 @@ func imprecisionStudy(runs int, copts campaign.Options) error {
 
 // pipelineRow is one workload's entry in BENCH_pipeline.json.
 type pipelineRow struct {
-	Workload   string `json:"workload"`
+	Workload string `json:"workload"`
+	// Interp marks CLF rows with the interpreter back end ("vm" or
+	// "tree"); Go-coded workloads leave it empty.
+	Interp     string `json:"interp,omitempty"`
 	Cycles     int    `json:"cycles"`
 	Confirmed  int    `json:"confirmed"`
 	Executions int    `json:"executions"`
@@ -310,10 +315,11 @@ func pipelineBench(path, metricsOut, only string, runs, parallel, p1runs, p1par 
 	if metricsOut != "" {
 		metrics = &obs.Metrics{}
 	}
-	for _, w := range harness.Figure2Benchmarks() {
-		if only != "" && w.Name != only {
-			continue
-		}
+	// benchOne runs the full Check pipeline (Phase I observe + Phase II
+	// confirm) on one body and measures it into a row. The raw Phase II
+	// duration and malloc delta come back alongside, so the CLF aggregate
+	// rows can sum them without re-rounding.
+	benchOne := func(name, interp string, body func(*dlfuzz.Ctx)) (pipelineRow, time.Duration, uint64, error) {
 		opts := dlfuzz.DefaultCheckOptions()
 		opts.Find.Runs = p1runs
 		opts.Find.Parallelism = p1par
@@ -325,17 +331,18 @@ func pipelineBench(path, metricsOut, only string, runs, parallel, p1runs, p1par 
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
 		start := time.Now()
-		find, err := dlfuzz.Find(w.Prog, opts.Find)
+		find, err := dlfuzz.Find(body, opts.Find)
 		phase1 := time.Since(start)
 		if err != nil {
-			return fmt.Errorf("pipeline bench %s: %w", w.Name, err)
+			return pipelineRow{}, 0, 0, fmt.Errorf("pipeline bench %s: %w", name, err)
 		}
 		start = time.Now()
-		multi := dlfuzz.ConfirmAll(w.Prog, find.Cycles, opts.Confirm)
+		multi := dlfuzz.ConfirmAll(body, find.Cycles, opts.Confirm)
 		phase2 := time.Since(start)
 		runtime.ReadMemStats(&after)
 		row := pipelineRow{
-			Workload:   w.Name,
+			Workload:   name,
+			Interp:     interp,
 			Cycles:     len(find.Cycles),
 			Confirmed:  len(multi.Confirmed()),
 			Executions: multi.Executions,
@@ -344,13 +351,28 @@ func pipelineBench(path, metricsOut, only string, runs, parallel, p1runs, p1par 
 			Phase2Ms:   phase2.Milliseconds(),
 			WallMs:     (phase1 + phase2).Milliseconds(),
 		}
+		mallocs := after.Mallocs - before.Mallocs
 		if row.Steps > 0 {
 			row.StepsPerSec = math.Round(float64(row.Steps) / phase2.Seconds())
-			mallocs := float64(after.Mallocs - before.Mallocs)
-			row.AllocsPerStep = math.Round(mallocs/float64(row.Steps)*1000) / 1000
+			row.AllocsPerStep = math.Round(float64(mallocs)/float64(row.Steps)*1000) / 1000
+		}
+		return row, phase2, mallocs, nil
+	}
+	for _, w := range harness.Figure2Benchmarks() {
+		if only != "" && w.Name != only {
+			continue
+		}
+		row, _, _, err := benchOne(w.Name, "", w.Prog)
+		if err != nil {
+			return err
 		}
 		out.Workloads = append(out.Workloads, row)
 	}
+	clfRows, err := clfPipelineRows(only, benchOne)
+	if err != nil {
+		return err
+	}
+	out.Workloads = append(out.Workloads, clfRows...)
 	if only != "" && len(out.Workloads) == 0 {
 		return fmt.Errorf("pipeline bench: unknown workload %q", only)
 	}
@@ -380,6 +402,135 @@ func pipelineBench(path, metricsOut, only string, runs, parallel, p1runs, p1par 
 	}
 	fmt.Printf("wrote %s\n", path)
 	return f.Close()
+}
+
+// clfCorpusDir is where the committed CLF corpus lives, relative to the
+// repository root dlbench runs from.
+const clfCorpusDir = "testdata/corpus"
+
+// clfBenchExtras are committed non-corpus programs every full sweep
+// benches alongside the corpus. The minimized corpus entries are
+// lock-dense (nearly every statement is a scheduling point), which
+// bounds any interpreter's advantage by the shared handshake cost;
+// dense.clf is compute-bound, so the pair brackets the VM-vs-tree
+// ratio from both sides. Extras stay out of the clf/corpus aggregate.
+var clfBenchExtras = []string{"testdata/dense.clf"}
+
+// clfPipelineRows benches the CLF hot path: every committed corpus
+// program (plus an explicit `clf:PATH` -workload ref) runs the same
+// Check pipeline as the Go workloads, once per interpreter back end, so
+// BENCH_pipeline.json tracks bytecode-VM vs tree-walker throughput side
+// by side. Two aggregate rows (clf/corpus@vm, clf/corpus@tree) sum the
+// per-entry campaigns; their stepsPerSec ratio is the corpus-wide VM
+// speedup the docs quote. The -workload filter composes: a Go workload
+// name selects no CLF rows, "clf/NAME" selects one corpus entry, and
+// "clf:PATH" benches a program outside the corpus.
+func clfPipelineRows(only string, benchOne func(name, interp string, body func(*dlfuzz.Ctx)) (pipelineRow, time.Duration, uint64, error)) ([]pipelineRow, error) {
+	type clfProg struct {
+		name  string
+		prog  *dlfuzz.Program
+		extra bool // non-corpus extra: benched, but outside the corpus aggregate
+	}
+	var progs []clfProg
+	load := func(name, path string) error {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("pipeline bench %s: %w", name, err)
+		}
+		p, err := dlfuzz.ParseCLF(filepath.Base(path), string(src))
+		if err != nil {
+			return fmt.Errorf("pipeline bench %s: %w", name, err)
+		}
+		progs = append(progs, clfProg{name: name, prog: p})
+		return nil
+	}
+	switch {
+	case strings.HasPrefix(only, "clf:"):
+		path := strings.TrimPrefix(only, "clf:")
+		name := "clf/" + strings.TrimSuffix(filepath.Base(path), ".clf")
+		if err := load(name, path); err != nil {
+			return nil, err
+		}
+	case only == "" || strings.HasPrefix(only, "clf/"):
+		files, err := filepath.Glob(filepath.Join(clfCorpusDir, "gen-*.clf"))
+		if err != nil {
+			return nil, err
+		}
+		for _, file := range files {
+			name := "clf/" + strings.TrimSuffix(filepath.Base(file), ".clf")
+			if only != "" && only != name {
+				continue
+			}
+			if err := load(name, file); err != nil {
+				return nil, err
+			}
+		}
+		for _, path := range clfBenchExtras {
+			name := "clf/" + strings.TrimSuffix(filepath.Base(path), ".clf")
+			if only != "" && only != name {
+				continue
+			}
+			if err := load(name, path); err != nil {
+				return nil, err
+			}
+			progs[len(progs)-1].extra = true
+		}
+		if only != "" && len(progs) == 0 {
+			return nil, fmt.Errorf("pipeline bench: no corpus entry %q in %s", only, clfCorpusDir)
+		}
+	default:
+		return nil, nil // a Go -workload restriction selects no CLF rows
+	}
+	var rows []pipelineRow
+	for _, interp := range []string{"vm", "tree"} {
+		var ncorpus int
+		var steps, execs int
+		var cycles, confirmed int
+		var wall time.Duration
+		var p1ms int64
+		var mallocs uint64
+		for _, cp := range progs {
+			body := cp.prog.Body()
+			if interp == "tree" {
+				body = cp.prog.TreeWalkBody()
+			}
+			row, phase2, m, err := benchOne(cp.name+"@"+interp, interp, body)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			if cp.extra {
+				continue
+			}
+			ncorpus++
+			steps += row.Steps
+			execs += row.Executions
+			cycles += row.Cycles
+			confirmed += row.Confirmed
+			wall += phase2
+			p1ms += row.Phase1Ms
+			mallocs += m
+		}
+		if ncorpus > 1 {
+			agg := pipelineRow{
+				Workload:   "clf/corpus@" + interp,
+				Interp:     interp,
+				Cycles:     cycles,
+				Confirmed:  confirmed,
+				Executions: execs,
+				Steps:      steps,
+				Phase1Ms:   p1ms,
+				Phase2Ms:   wall.Milliseconds(),
+				WallMs:     p1ms + wall.Milliseconds(),
+			}
+			if steps > 0 {
+				agg.StepsPerSec = math.Round(float64(steps) / wall.Seconds())
+				agg.AllocsPerStep = math.Round(float64(mallocs)/float64(steps)*1000) / 1000
+			}
+			rows = append(rows, agg)
+		}
+	}
+	return rows, nil
 }
 
 // phase1Row is one workload's entry in BENCH_phase1.json: the campaign's

@@ -137,12 +137,19 @@ func ShapeKey(key string) string {
 // campaign described by spec, serially on the calling goroutine. CLF
 // runtime errors (possible in minimization candidates that orphan field
 // initialization) are recovered and returned as errors.
-func Observe(src string, spec FindSpec) (co *analysis.CampaignObservation, err error) {
-	spec = spec.WithDefaults()
+func Observe(src string, spec FindSpec) (*analysis.CampaignObservation, error) {
 	prog, err := lang.Parse(AnalysisName, src)
 	if err != nil {
 		return nil, err
 	}
+	return observeProgram(prog, spec)
+}
+
+// observeProgram is Observe for an already-parsed program. Callers that
+// also run Phase II (confirm) go through here so one parse — and one
+// cached bytecode compilation — serves both phases.
+func observeProgram(prog *lang.Program, spec FindSpec) (co *analysis.CampaignObservation, err error) {
+	spec = spec.WithDefaults()
 	defer func() {
 		if r := recover(); r != nil {
 			rt, ok := r.(*lang.RuntimeError)
@@ -308,7 +315,11 @@ func confirm(src string, keys []string, spec FindSpec, runs int) (out []bool) {
 			}
 		}
 	}()
-	co, err := Observe(src, spec)
+	prog, err := lang.Parse(AnalysisName, src)
+	if err != nil {
+		return out
+	}
+	co, err := observeProgram(prog, spec)
 	if err != nil {
 		return out
 	}
@@ -325,10 +336,6 @@ func confirm(src string, keys []string, spec FindSpec, runs int) (out []bool) {
 		}
 	}
 	if len(targets) == 0 {
-		return out
-	}
-	prog, err := lang.Parse(AnalysisName, src)
-	if err != nil {
 		return out
 	}
 	body := lang.NewInterp(prog, nil).Main()

@@ -185,6 +185,18 @@ func (c Context) Key() string {
 	return b.String()
 }
 
+// AppendKey appends Key()'s bytes to buf, for callers that render keys
+// into reused buffers.
+func (c Context) AppendKey(buf []byte) []byte {
+	for i, l := range c {
+		if i > 0 {
+			buf = append(buf, '|')
+		}
+		buf = append(buf, l...)
+	}
+	return buf
+}
+
 // String renders the context like the paper: "[15, 16]".
 func (c Context) String() string {
 	parts := make([]string, len(c))

@@ -1,6 +1,7 @@
 package fuzzer
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -101,13 +102,21 @@ type Runner struct {
 	// same few candidates are matched every run of a campaign — and the
 	// last deadlock's key, which a multi-cycle campaign compares against
 	// every candidate.
-	keys      map[*igoodlock.Cycle]string
-	keysCfg   Config
-	lastDL    *sched.DeadlockInfo
-	lastDLKey string
+	keys    map[*igoodlock.Cycle]string
+	keysCfg Config
+	lastDL  *sched.DeadlockInfo
 	// abs interns abstraction keys across the campaign's deadlock-key
 	// renders; repeat thread/lock abstractions cost no allocations.
 	abs absCache
+	// Deadlock keys render into reused buffers: partBuf holds every
+	// edge's triple back to back (partEnds the boundaries), parts the
+	// per-edge views for sorting, keyBuf the joined key. A confirm
+	// campaign renders one key per deadlocked run, so this is the
+	// campaign hot path's last per-run allocation site.
+	partBuf  []byte
+	partEnds []int
+	parts    [][]byte
+	keyBuf   []byte
 }
 
 // NewRunner returns a Runner with an empty pool.
@@ -136,7 +145,9 @@ func (r *Runner) MatchesCycle(dl *sched.DeadlockInfo, cycle *igoodlock.Cycle, cf
 	if cfg.K == 0 {
 		cfg.K = 10
 	}
-	return r.deadlockKey(dl, cfg) == r.cycleKey(cycle, cfg)
+	// string(b) == s compares without converting; the render stays in
+	// the Runner's buffers.
+	return string(r.deadlockKey(dl, cfg)) == r.cycleKey(cycle, cfg)
 }
 
 // cycleKey memoizes CycleKey per cycle pointer, flushing when the config
@@ -157,37 +168,62 @@ func (r *Runner) cycleKey(cycle *igoodlock.Cycle, cfg Config) string {
 	return k
 }
 
-// deadlockKey memoizes DeadlockKey for the most recent deadlock, which
-// covers the match-against-every-candidate loop of a multi-cycle
+// deadlockKey memoizes the rendered key for the most recent deadlock,
+// which covers the match-against-every-candidate loop of a multi-cycle
 // campaign. lastDL retains the DeadlockInfo, so its address cannot be
-// recycled while the cache entry lives.
-func (r *Runner) deadlockKey(dl *sched.DeadlockInfo, cfg Config) string {
+// recycled while the cache entry lives. The returned bytes belong to
+// the Runner and are valid until the next render.
+func (r *Runner) deadlockKey(dl *sched.DeadlockInfo, cfg Config) []byte {
 	if dl == r.lastDL && cfg == r.keysCfg {
-		return r.lastDLKey
+		return r.keyBuf
 	}
 	r.lastDL = dl
-	r.lastDLKey = r.renderDeadlockKey(dl, cfg)
-	return r.lastDLKey
+	r.renderDeadlockKey(dl, cfg)
+	return r.keyBuf
 }
 
 // renderDeadlockKey is DeadlockKey with the Runner's abstraction intern
-// cache: identical output, without re-rendering abstractions the
-// campaign's earlier deadlocks already produced. The per-run object map
-// is dropped each time — deadlocks come from distinct executions, so
-// object pointers never repeat meaningfully.
-func (r *Runner) renderDeadlockKey(dl *sched.DeadlockInfo, cfg Config) string {
+// cache and reused render buffers: identical bytes in r.keyBuf, with no
+// steady-state allocations. The per-run object map is dropped each time
+// — deadlocks come from distinct executions, so object pointers never
+// repeat meaningfully.
+func (r *Runner) renderDeadlockKey(dl *sched.DeadlockInfo, cfg Config) {
+	r.keyBuf = r.keyBuf[:0]
 	if dl == nil {
-		return ""
+		return
 	}
 	r.abs.reset()
-	parts := make([]string, 0, len(dl.Edges))
+	// Render every part contiguously first: appends may regrow partBuf,
+	// so the sortable views are only derived once the buffer is final.
+	r.partBuf, r.partEnds = r.partBuf[:0], r.partEnds[:0]
 	for _, e := range dl.Edges {
-		key := string(r.abs.of(cfg.Abstraction, e.ThreadObj, cfg.K)) + "/" + string(r.abs.of(cfg.Abstraction, e.Want, cfg.K))
+		r.partBuf = append(r.partBuf, r.abs.of(cfg.Abstraction, e.ThreadObj, cfg.K)...)
+		r.partBuf = append(r.partBuf, '/')
+		r.partBuf = append(r.partBuf, r.abs.of(cfg.Abstraction, e.Want, cfg.K)...)
 		if cfg.UseContext {
-			key += "/" + e.Context.Key()
+			r.partBuf = append(r.partBuf, '/')
+			r.partBuf = e.Context.AppendKey(r.partBuf)
 		}
-		parts = append(parts, key)
+		r.partEnds = append(r.partEnds, len(r.partBuf))
 	}
-	sort.Strings(parts)
-	return strings.Join(parts, "~")
+	r.parts = r.parts[:0]
+	start := 0
+	for _, end := range r.partEnds {
+		r.parts = append(r.parts, r.partBuf[start:end])
+		start = end
+	}
+	// Insertion sort: cycles have a handful of edges, and equal parts
+	// are interchangeable, so sort.Strings' ordering is reproduced
+	// exactly without its interface allocation.
+	for i := 1; i < len(r.parts); i++ {
+		for j := i; j > 0 && bytes.Compare(r.parts[j], r.parts[j-1]) < 0; j-- {
+			r.parts[j], r.parts[j-1] = r.parts[j-1], r.parts[j]
+		}
+	}
+	for i, p := range r.parts {
+		if i > 0 {
+			r.keyBuf = append(r.keyBuf, '~')
+		}
+		r.keyBuf = append(r.keyBuf, p...)
+	}
 }

@@ -4,12 +4,23 @@ package lang
 // leading token; statement nodes whose execution is observable (sync,
 // new, spawn, work) use that position as their label.
 
+import "sync"
+
 // Program is a parsed CLF compilation unit.
 type Program struct {
 	File  string
 	Funcs []*FuncDecl
-	// byName is filled by Resolve.
-	byName map[string]*FuncDecl
+	// byName, funcIdx, fields and fieldIdx are filled by Resolve.
+	byName   map[string]*FuncDecl
+	funcIdx  map[string]int
+	fields   []string       // interned field names, first-appearance order
+	fieldIdx map[string]int // field name -> index in fields
+
+	// compiled caches the bytecode form (compile.go) so the thousands of
+	// executions one program drives lower the AST exactly once. Guarded
+	// by compileOnce; Program values must not be copied after Resolve.
+	compileOnce sync.Once
+	compiled    *compiledProg
 }
 
 // Func returns the declared function with the given name, if any.
@@ -24,6 +35,9 @@ type FuncDecl struct {
 	Name   string
 	Params []string
 	Body   *Block
+	// numSlots is the frame size Resolve assigned: the deepest number of
+	// simultaneously live declarations (params included).
+	numSlots int
 }
 
 // Stmt is implemented by all statement nodes.
@@ -44,6 +58,7 @@ type VarStmt struct {
 	Pos  Pos
 	Name string
 	Init Expr
+	slot int // frame slot, assigned by Resolve
 }
 
 func (s *VarStmt) stmtPos() Pos { return s.Pos }
@@ -53,6 +68,7 @@ type AssignStmt struct {
 	Pos  Pos
 	Name string
 	Val  Expr
+	slot int // frame slot, assigned by Resolve
 }
 
 func (s *AssignStmt) stmtPos() Pos { return s.Pos }
@@ -248,6 +264,7 @@ func (e *NilLit) exprPos() Pos { return e.Pos }
 type Ident struct {
 	Pos  Pos
 	Name string
+	slot int // frame slot, assigned by Resolve
 }
 
 func (e *Ident) exprPos() Pos { return e.Pos }
@@ -296,9 +313,10 @@ func (e *RecvExpr) exprPos() Pos { return e.Pos }
 
 // CallExpr invokes a declared function.
 type CallExpr struct {
-	Pos  Pos
-	Name string
-	Args []Expr
+	Pos     Pos
+	Name    string
+	Args    []Expr
+	funcIdx int // index of the callee in Program.Funcs, assigned by Resolve
 }
 
 func (e *CallExpr) exprPos() Pos { return e.Pos }
@@ -332,9 +350,10 @@ func (e *BinaryExpr) exprPos() Pos { return e.Pos }
 
 // FieldExpr reads a field: `e.name`.
 type FieldExpr struct {
-	Pos  Pos
-	Obj  Expr
-	Name string
+	Pos     Pos
+	Obj     Expr
+	Name    string
+	fieldID int // interned field id, assigned by Resolve
 }
 
 func (e *FieldExpr) exprPos() Pos { return e.Pos }
@@ -345,10 +364,11 @@ func (e *FieldExpr) exprPos() Pos { return e.Pos }
 // only because exactly one simulated thread runs at a time (a data-race
 // analysis is out of scope for this reproduction).
 type FieldAssignStmt struct {
-	Pos   Pos
-	Obj   Expr
-	Field string
-	Val   Expr
+	Pos     Pos
+	Obj     Expr
+	Field   string
+	Val     Expr
+	fieldID int // interned field id, assigned by Resolve
 }
 
 func (s *FieldAssignStmt) stmtPos() Pos { return s.Pos }

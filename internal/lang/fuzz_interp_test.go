@@ -1,10 +1,11 @@
 package lang_test
 
-// FuzzInterp closes the front-end fuzzing loop over the back end: any
-// program the parser accepts must execute without escaping panics. The
-// target lives in an external test package so it can seed directly from
-// the program generator (gen imports lang, so an in-package target
-// would be an import cycle).
+// FuzzInterp closes the front-end fuzzing loop over both back ends: any
+// program the parser accepts must execute without escaping panics, and
+// the bytecode VM must be indistinguishable from the tree-walking
+// reference. The target lives in an external test package so it can seed
+// directly from the program generator (gen imports lang, so an
+// in-package target would be an import cycle).
 //
 // The invariants:
 //
@@ -13,18 +14,28 @@ package lang_test
 //   - the step bound always terminates the run, even for
 //     malformed-but-parsable programs that loop or recurse forever
 //     (while back edges and calls are scheduling points);
-//   - the outcome is one of the scheduler's declared classifications.
+//   - the outcome is one of the scheduler's declared classifications;
+//   - VM and tree-walker agree on the outcome, the RuntimeError, the
+//     print output, and the full event stream.
 
 import (
+	"bytes"
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"dlfuzz/internal/lang"
 	"dlfuzz/internal/lang/gen"
 	"dlfuzz/internal/sched"
 )
+
+// streamRecorder captures an execution's event stream for the
+// differential comparison.
+type streamRecorder struct{ events []sched.Ev }
+
+func (r *streamRecorder) OnEvent(ev sched.Ev) { r.events = append(r.events, ev) }
 
 func FuzzInterp(f *testing.F) {
 	for _, glob := range []string{
@@ -77,21 +88,56 @@ func FuzzInterp(f *testing.F) {
 		if err != nil {
 			return // front-end rejection is FuzzParser's domain
 		}
-		res, err := lang.NewInterp(prog, nil).Run(sched.Options{Seed: 1, MaxSteps: 20000})
+		run := func(tree bool) (*sched.Result, error, string, []sched.Ev) {
+			var out bytes.Buffer
+			in := lang.NewInterp(prog, &out)
+			if tree {
+				in.TreeWalk()
+			}
+			rec := &streamRecorder{}
+			res, err := in.Run(sched.Options{
+				Seed: 1, MaxSteps: 20000,
+				Observers: []sched.Observer{rec},
+			})
+			return res, err, out.String(), rec.events
+		}
+		res, err, vprint, vevents := run(false)
+		tres, terr, tprint, tevents := run(true)
 		if err != nil {
 			var rt *lang.RuntimeError
 			if !errors.As(err, &rt) {
 				t.Fatalf("Run returned a non-runtime error: %T (%v)", err, err)
 			}
-			return
+		} else {
+			if res == nil {
+				t.Fatal("Run returned neither result nor error")
+			}
+			switch res.Outcome {
+			case sched.Completed, sched.Deadlock, sched.Stall, sched.StepLimit:
+			default:
+				t.Fatalf("unknown outcome %v", res.Outcome)
+			}
 		}
-		if res == nil {
-			t.Fatal("Run returned neither result nor error")
+		// The VM must be indistinguishable from the tree-walker.
+		if (err == nil) != (terr == nil) {
+			t.Fatalf("error presence diverged: vm %v, tree %v", err, terr)
 		}
-		switch res.Outcome {
-		case sched.Completed, sched.Deadlock, sched.Stall, sched.StepLimit:
-		default:
-			t.Fatalf("unknown outcome %v", res.Outcome)
+		if err != nil && err.Error() != terr.Error() {
+			t.Fatalf("errors diverged:\nvm   %v\ntree %v", err, terr)
+		}
+		if vprint != tprint {
+			t.Fatalf("print diverged:\nvm   %q\ntree %q", vprint, tprint)
+		}
+		if !reflect.DeepEqual(res, tres) {
+			t.Fatalf("results diverged:\nvm   %+v\ntree %+v", res, tres)
+		}
+		if !reflect.DeepEqual(vevents, tevents) {
+			for i := range vevents {
+				if i >= len(tevents) || !reflect.DeepEqual(vevents[i], tevents[i]) {
+					t.Fatalf("event %d diverged:\nvm   %+v\ntree %+v", i, vevents[i], tevents[i])
+				}
+			}
+			t.Fatalf("event streams diverged in length: %d vs %d", len(vevents), len(tevents))
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
 	"dlfuzz/internal/event"
 	"dlfuzz/internal/object"
@@ -135,9 +136,14 @@ func (e *env) assign(name string, v Value) bool {
 const maxCallDepth = 1000
 
 // Interp executes a resolved CLF program on the deterministic scheduler.
+// By default programs are compiled to bytecode (compile.go) and run on
+// the slot-indexed VM (vm.go); TreeWalk selects the tree-walking
+// reference back end, which the differential tests pin the VM against.
 type Interp struct {
 	prog *Program
 	out  io.Writer
+	tree bool
+	pool sync.Pool // *vmRun, recycled across executions
 }
 
 // NewInterp returns an interpreter writing print() output to out
@@ -149,14 +155,31 @@ func NewInterp(prog *Program, out io.Writer) *Interp {
 	return &Interp{prog: prog, out: out}
 }
 
+// TreeWalk switches this interpreter to the tree-walking back end, the
+// differential reference for the VM (the same escape-hatch pattern as
+// sched.Options.UnbatchedWork). It returns in for chaining.
+func (in *Interp) TreeWalk() *Interp {
+	in.tree = true
+	return in
+}
+
 // Main returns the program body in the scheduler's form: running it
 // executes main() on the calling simulated thread. Each invocation gets
 // a fresh heap, so one Interp can safely drive many executions.
 func (in *Interp) Main() func(*sched.Ctx) {
+	if in.tree {
+		return func(c *sched.Ctx) {
+			main, _ := in.prog.Func("main")
+			ex := &executor{in: in, c: c, heap: newHeap()}
+			ex.callFunction(main, nil, main.Pos)
+		}
+	}
+	cp := in.prog.compile()
 	return func(c *sched.Ctx) {
-		main, _ := in.prog.Func("main")
-		ex := &executor{in: in, c: c, heap: newHeap()}
-		ex.callFunction(main, nil, main.Pos)
+		run := in.getRun(len(cp.fields))
+		defer run.release()
+		t := &vmThread{c: c, cp: cp, run: run, in: in}
+		t.call(cp.main, nil, cp.main.declPos, cp.main.declLoc)
 	}
 }
 

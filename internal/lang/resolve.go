@@ -5,13 +5,25 @@ import "fmt"
 // Resolve checks a parsed program for static errors: duplicate or
 // missing function definitions, calls with wrong arity, use of undefined
 // variables, and a missing main. It fills the program's function table.
+//
+// Resolution also lowers names to indices for the bytecode compiler
+// (compile.go): every variable reference is annotated with a frame slot
+// (slots are assigned per function with lexical-scope reuse, so sibling
+// scopes share storage), every field access with an interned field id,
+// and every call with its target's index in Funcs. The tree-walking
+// interpreter ignores the annotations entirely, which is what lets the
+// two back ends share one resolved AST.
 func Resolve(prog *Program) error {
 	prog.byName = make(map[string]*FuncDecl, len(prog.Funcs))
-	for _, f := range prog.Funcs {
+	prog.funcIdx = make(map[string]int, len(prog.Funcs))
+	prog.fieldIdx = map[string]int{}
+	prog.fields = nil
+	for i, f := range prog.Funcs {
 		if prev, dup := prog.byName[f.Name]; dup {
 			return errf(f.Pos, "function %s redeclared (previous declaration at %s)", f.Name, prev.Pos)
 		}
 		prog.byName[f.Name] = f
+		prog.funcIdx[f.Name] = i
 	}
 	main, ok := prog.byName["main"]
 	if !ok {
@@ -34,29 +46,70 @@ func Resolve(prog *Program) error {
 		if err := r.block(f.Body, false); err != nil {
 			return err
 		}
+		f.numSlots = r.maxSlots
 	}
 	return nil
 }
 
-// resolver walks one function body with a scope stack.
+// intern returns the program-wide id of a field name, assigning one on
+// first sight. Field ids index the VM's per-object field slices.
+func (p *Program) intern(field string) int {
+	if id, ok := p.fieldIdx[field]; ok {
+		return id
+	}
+	id := len(p.fields)
+	p.fields = append(p.fields, field)
+	p.fieldIdx[field] = id
+	return id
+}
+
+// resolver walks one function body with a scope stack, assigning each
+// declaration a frame slot. Slots are reused when a scope closes, so a
+// function's frame size is the deepest simultaneous declaration count,
+// not its total declaration count (CLF loops declare per iteration).
 type resolver struct {
-	prog   *Program
-	scopes []map[string]bool
+	prog     *Program
+	scopes   []map[string]int // name -> slot, innermost last
+	marks    []int            // nextSlot at each scope's open
+	nextSlot int
+	maxSlots int
 }
 
-func (r *resolver) push() { r.scopes = append(r.scopes, map[string]bool{}) }
-func (r *resolver) pop()  { r.scopes = r.scopes[:len(r.scopes)-1] }
-func (r *resolver) declare(name string) {
-	r.scopes[len(r.scopes)-1][name] = true
+func (r *resolver) push() {
+	r.scopes = append(r.scopes, map[string]int{})
+	r.marks = append(r.marks, r.nextSlot)
 }
 
-func (r *resolver) defined(name string) bool {
+func (r *resolver) pop() {
+	r.nextSlot = r.marks[len(r.marks)-1]
+	r.scopes = r.scopes[:len(r.scopes)-1]
+	r.marks = r.marks[:len(r.marks)-1]
+}
+
+// declare binds name in the innermost scope and returns its slot.
+// Redeclaring a name in the same scope rebinds the existing slot, the
+// storage the tree-walker's map overwrite also reuses.
+func (r *resolver) declare(name string) int {
+	top := r.scopes[len(r.scopes)-1]
+	if slot, ok := top[name]; ok {
+		return slot
+	}
+	slot := r.nextSlot
+	r.nextSlot++
+	if r.nextSlot > r.maxSlots {
+		r.maxSlots = r.nextSlot
+	}
+	top[name] = slot
+	return slot
+}
+
+func (r *resolver) lookup(name string) (int, bool) {
 	for i := len(r.scopes) - 1; i >= 0; i-- {
-		if r.scopes[i][name] {
-			return true
+		if slot, ok := r.scopes[i][name]; ok {
+			return slot, true
 		}
 	}
-	return false
+	return 0, false
 }
 
 // block resolves a block; newScope controls whether it opens a scope
@@ -82,12 +135,14 @@ func (r *resolver) stmt(s Stmt) error {
 		if err := r.expr(s.Init); err != nil {
 			return err
 		}
-		r.declare(s.Name)
+		s.slot = r.declare(s.Name)
 		return nil
 	case *AssignStmt:
-		if !r.defined(s.Name) {
+		slot, ok := r.lookup(s.Name)
+		if !ok {
 			return errf(s.Pos, "assignment to undefined variable %s", s.Name)
 		}
+		s.slot = slot
 		return r.expr(s.Val)
 	case *SyncStmt:
 		if err := r.expr(s.Lock); err != nil {
@@ -145,6 +200,7 @@ func (r *resolver) stmt(s Stmt) error {
 		if err := r.expr(s.Obj); err != nil {
 			return err
 		}
+		s.fieldID = r.prog.intern(s.Field)
 		return r.expr(s.Val)
 	case *ReturnStmt:
 		if s.Val != nil {
@@ -177,16 +233,22 @@ func (r *resolver) expr(e Expr) error {
 	case *RecvExpr:
 		return r.expr(e.Ch)
 	case *Ident:
-		if !r.defined(e.Name) {
+		slot, ok := r.lookup(e.Name)
+		if !ok {
 			return errf(e.Pos, "undefined variable %s", e.Name)
 		}
+		e.slot = slot
 		return nil
 	case *CallExpr:
 		return r.call(e)
 	case *SpawnExpr:
 		return r.call(e.Call)
 	case *FieldExpr:
-		return r.expr(e.Obj)
+		if err := r.expr(e.Obj); err != nil {
+			return err
+		}
+		e.fieldID = r.prog.intern(e.Name)
+		return nil
 	case *UnaryExpr:
 		return r.expr(e.X)
 	case *BinaryExpr:
@@ -207,6 +269,7 @@ func (r *resolver) call(c *CallExpr) error {
 	if len(c.Args) != len(f.Params) {
 		return errf(c.Pos, "%s takes %d arguments, got %d", c.Name, len(f.Params), len(c.Args))
 	}
+	c.funcIdx = r.prog.funcIdx[c.Name]
 	for _, a := range c.Args {
 		if err := r.expr(a); err != nil {
 			return err

@@ -51,7 +51,8 @@ func (wg *WaitGroup) Count() int { return wg.count }
 
 // MisuseError is the scheduler's report of a runtime misuse of a
 // blocking primitive — send on a closed channel, double close, a
-// WaitGroup counter driven negative. It aborts the run like any
+// WaitGroup counter driven negative, a monitor wait/notify/release
+// without holding the lock. It aborts the run like any
 // scheduler error (Run panics with it), but carries a structured
 // location so language frontends can convert it into their own runtime
 // error type.

@@ -11,33 +11,39 @@
 #                          must be race-clean
 #   5. fuzz smoke        — FuzzParser explores for a few seconds from
 #                          the testdata-seeded corpus
-#   6. bench smoke       — every benchmark runs once, so benchmark-only
+#   6. vm diff           — the bytecode VM and the tree-walking
+#                          interpreter must be byte-identical (events,
+#                          output, campaign reports) over the curated
+#                          programs, the committed corpus and the
+#                          recorded FuzzInterp seeds (`make vm-diff`)
+#   7. bench smoke       — every benchmark runs once, so benchmark-only
 #                          code paths (pooled runners, allocation
 #                          reporting) cannot rot between perf runs
-#   7. pipeline bench    — machine-readable Check cost over the Figure-2
-#                          workloads (BENCH_pipeline.json), tracking the
-#                          multi-cycle campaign's execution counts; the
-#                          fresh stepsPerSec column is compared against
-#                          the committed baseline and WARNS (never
-#                          fails) on a large drop
-#   8. phase1 bench      — multi-seed observation campaign stats and
+#   8. pipeline bench    — machine-readable Check cost over the Figure-2
+#                          workloads and the CLF corpus (each CLF row
+#                          once per interpreter back end), written to
+#                          BENCH_pipeline.json; the fresh stepsPerSec
+#                          column is compared per row name against the
+#                          committed baseline and WARNS (never fails)
+#                          on a large drop
+#   9. phase1 bench      — multi-seed observation campaign stats and
 #                          sharded-closure wall times (BENCH_phase1.json)
-#   9. replay smoke      — fuzz philosophers with -witness-dir, then
+#  10. replay smoke      — fuzz philosophers with -witness-dir, then
 #                          `dlfuzz replay` every emitted witness
-#  10. corpus smoke      — dlgen harvests a fresh 25-seed corpus into a
+#  11. corpus smoke      — dlgen harvests a fresh 25-seed corpus into a
 #                          temp dir and re-validates it, then re-validates
 #                          the committed testdata/corpus (every program
 #                          must still parse, report its manifest cycle
 #                          keys, and pass the serial-vs-parallel width
 #                          differential)
-#  11. bakeoff smoke     — every registered Phase I finder runs over the
+#  12. bakeoff smoke     — every registered Phase I finder runs over the
 #                          first five corpus programs; a finder that
 #                          declares itself sound must have zero
 #                          Phase-II-unconfirmed candidates
-#  12. blocking smoke    — the blocking-deadlock campaign runs over the
+#  13. blocking smoke    — the blocking-deadlock campaign runs over the
 #                          curated chan/WaitGroup suite at widths 1/2/4
 #                          and must produce byte-identical reports
-#  13. docs links        — every relative link in README.md and
+#  14. docs links        — every relative link in README.md and
 #                          docs/*.md resolves to a file in the repo
 #
 # FUZZTIME overrides the smoke window (default 10s); BENCHRUNS the
@@ -63,6 +69,14 @@ go test -race ./internal/analysis/ ./internal/campaign/ ./internal/harness/ \
 
 echo "== fuzz smoke: FuzzParser for ${FUZZTIME} =="
 go test -run=Fuzz -fuzz=FuzzParser -fuzztime="${FUZZTIME}" ./internal/lang/
+
+echo "== vm diff: bytecode VM vs tree-walker byte identity =="
+# The full differential (curated programs + committed corpus at widths
+# 1/2/4, parity suite, recorded FuzzInterp seeds); `make vm-diff` runs
+# the same thing. The pipeline-bench baseline compare below extends to
+# the CLF rows automatically: the join is keyed by workload name, and
+# each corpus entry benches as clf/<name>@vm and clf/<name>@tree.
+make vm-diff
 
 echo "== bench smoke: every benchmark once =="
 go test -run='^$' -bench=. -benchtime=1x .
